@@ -1,0 +1,84 @@
+// Ablation — FCFS vs network-aware worker grouping (§7 future work).
+//
+// The default JETS behaviour "is to group nodes in first come, first
+// served order" without regard for network position (§6.1.4). After the
+// ready pool scrambles (variable-duration warm-up jobs), this bench
+// measures the average intra-job torus span and pairwise hop distance for
+// 8-proc jobs under both policies.
+#include <cstdio>
+
+#include "harness.hh"
+#include "net/fabric.hh"
+
+using namespace jets;
+
+namespace {
+
+struct Locality {
+  double mean_span = 0;  // max - min node id within a job
+  double mean_hops = 0;  // average pairwise torus hops
+};
+
+Locality run(bool network_aware) {
+  constexpr std::size_t kNodes = 256;
+  bench::Bed bed(os::Machine::surveyor(kNodes));
+  auto options = bench::surveyor_options(/*workers_per_node=*/1);
+  options.worker.stage_files = {pmi::kProxyBinary, "mpi_sleep", "sleep"};
+  options.service.network_aware_grouping = network_aware;
+  core::StandaloneJets jets(bed.machine, bed.apps, options);
+  jets.start(bed.nodes(kNodes));
+
+  // Phase 1: variable-duration sequential jobs scramble the ready pool's
+  // FCFS order (workers re-enter the pool in completion order). Phase 2:
+  // the measured 8-proc MPI jobs place from the full, scrambled pool.
+  sim::Rng rng(7);
+  std::vector<core::JobSpec> warmup;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    warmup.push_back(bench::seq_job(
+        {"sleep", std::to_string(rng.uniform(0.5, 6.0))}));
+  }
+  std::vector<core::JobSpec> measured(128, bench::mpi_job(8, {"mpi_sleep", "2"}));
+  core::BatchReport report;
+  bed.run([&]() -> sim::Task<void> {
+    co_await jets.wait_workers();
+    (void)co_await jets.run_batch(warmup);
+    report = co_await jets.run_batch(measured);
+  });
+
+  const net::TorusShape shape{8, 8, 16};
+  Locality loc;
+  std::size_t mpi_jobs = 0;
+  for (const auto& rec : report.records) {
+    if (rec.spec.kind != core::JobKind::kMpi || rec.nodes.empty()) continue;
+    ++mpi_jobs;
+    auto [mn, mx] = std::minmax_element(rec.nodes.begin(), rec.nodes.end());
+    loc.mean_span += static_cast<double>(*mx - *mn);
+    double hops = 0;
+    int pairs = 0;
+    for (std::size_t a = 0; a < rec.nodes.size(); ++a) {
+      for (std::size_t b = a + 1; b < rec.nodes.size(); ++b) {
+        hops += shape.hops(rec.nodes[a], rec.nodes[b]);
+        ++pairs;
+      }
+    }
+    loc.mean_hops += hops / pairs;
+  }
+  loc.mean_span /= static_cast<double>(mpi_jobs);
+  loc.mean_hops /= static_cast<double>(mpi_jobs);
+  return loc;
+}
+
+}  // namespace
+
+int main() {
+  bench::figure_header("abl_grouping", "FCFS vs network-aware worker grouping",
+                       "FCFS ignores topology; locality-aware grouping cuts "
+                       "intra-job hop distance (§7)");
+  std::printf("%-16s %-12s %s\n", "policy", "mean_span", "mean_pair_hops");
+  const Locality fcfs = run(false);
+  const Locality aware = run(true);
+  std::printf("%-16s %-12.1f %.2f\n", "fcfs", fcfs.mean_span, fcfs.mean_hops);
+  std::printf("%-16s %-12.1f %.2f\n", "network_aware", aware.mean_span,
+              aware.mean_hops);
+  return 0;
+}

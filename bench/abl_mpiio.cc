@@ -1,0 +1,124 @@
+// Ablation — MPI-IO aggregation vs uncoordinated MTC filesystem access
+// (§1.2): "given N MTC processes, the filesystem would be accessed by N
+// clients; however, for 16-process MPTC tasks using MPI-IO, the number of
+// clients would be N/16."
+//
+// Two workloads with identical aggregate output (64 ranks x 512 KB of
+// small-file writes): the MTC form runs 64 single-process tasks, each its
+// own GPFS client; the MPTC form runs four 16-proc MPI jobs whose ranks
+// aggregate to one writer via Comm::write_all. We time the I/O phase
+// inside the application (so job startup is excluded) and sample the peak
+// concurrent GPFS client count during it.
+#include <cstdio>
+
+#include "harness.hh"
+#include "mpi/comm.hh"
+
+using namespace jets;
+
+namespace {
+
+constexpr std::size_t kRanks = 64;
+constexpr std::size_t kBytesPerRank = 512'000;
+constexpr unsigned kFilesPerRank = 4;  // small files: metadata-dominated
+
+struct IoResult {
+  double mean_io_s = 0;
+  std::size_t peak_clients = 0;
+};
+
+IoResult run(bool aggregated) {
+  bench::Bed bed(os::Machine::eureka(kRanks));
+  sim::Summary io_times;
+
+  bed.apps.install("writer_mtc", [&io_times](os::Env& env) -> sim::Task<void> {
+    const double t0 = sim::to_seconds(env.machine->engine().now());
+    for (unsigned f = 0; f < kFilesPerRank; ++f) {
+      co_await env.machine->shared_fs().write(
+          "/gpfs/" + env.var("JOB") + "." + std::to_string(f),
+          kBytesPerRank / kFilesPerRank);
+    }
+    io_times.add(sim::to_seconds(env.machine->engine().now()) - t0);
+  });
+  bed.apps.install("writer_mpiio", [&io_times](os::Env& env) -> sim::Task<void> {
+    auto comm = co_await mpi::Comm::init(env);
+    co_await comm->barrier();
+    const double t0 = comm->wtime();
+    for (unsigned f = 0; f < kFilesPerRank; ++f) {
+      co_await comm->write_all("/gpfs/agg" + std::to_string(f),
+                               kBytesPerRank / kFilesPerRank);
+    }
+    if (comm->rank() == 0) io_times.add(comm->wtime() - t0);
+    co_await comm->finalize();
+  });
+  bed.machine.shared_fs().put("writer_mtc", 16'384);
+  bed.machine.shared_fs().put("writer_mpiio", 1'500'000);
+
+  auto options = bench::x86_options(/*workers_per_node=*/1);
+  options.worker.stage_files = {pmi::kProxyBinary, "writer_mtc",
+                                "writer_mpiio"};
+  core::StandaloneJets jets(bed.machine, bed.apps, options);
+  jets.start(bed.nodes(kRanks));
+
+  std::vector<core::JobSpec> jobs;
+  if (aggregated) {
+    for (std::size_t j = 0; j < kRanks / 16; ++j) {
+      jobs.push_back(bench::mpi_job(16, {"writer_mpiio"}));
+    }
+  } else {
+    for (std::size_t j = 0; j < kRanks; ++j) {
+      core::JobSpec s = bench::seq_job({"writer_mtc"});
+      s.vars["JOB"] = "out" + std::to_string(j);
+      jobs.push_back(std::move(s));
+    }
+  }
+
+  IoResult out;
+  core::BatchReport report;
+  // FS-client sampler with shared state: it outlives the driver coroutine
+  // (one tick can fire after the batch settles).
+  struct Sampler {
+    bool running = false;
+    std::size_t peak = 0;
+  };
+  auto sampler = std::make_shared<Sampler>();
+  std::function<void()> tick;  // self-rescheduling; alive through the run
+  tick = [sampler, machine = &bed.machine, engine = &bed.engine,
+          self = &tick]() mutable {
+    if (!sampler->running) return;
+    sampler->peak =
+        std::max(sampler->peak, machine->shared_fs().active_clients());
+    engine->call_in(sim::milliseconds(10), *self);
+  };
+  bed.engine.spawn("driver", [](core::StandaloneJets& jets,
+                                std::vector<core::JobSpec> jobs,
+                                std::shared_ptr<Sampler> sampler,
+                                std::function<void()>* tick,
+                                sim::Engine* engine,
+                                core::BatchReport& rep) -> sim::Task<void> {
+    co_await jets.wait_workers();
+    sampler->running = true;  // sample only during the batch, not staging
+    engine->call_in(sim::milliseconds(10), *tick);
+    rep = co_await jets.run_batch(std::move(jobs));
+    sampler->running = false;
+  }(jets, std::move(jobs), sampler, &tick, &bed.engine, report));
+  bed.engine.run_until(sim::seconds(600));
+  out.mean_io_s = io_times.mean();
+  out.peak_clients = sampler->peak;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::figure_header("abl_mpiio",
+                       "uncoordinated MTC writes vs MPI-IO aggregation",
+                       "N clients vs N/16 clients for the same bytes (§1.2)");
+  std::printf("%-12s %-14s %s\n", "mode", "mean_io_s", "peak_fs_clients");
+  const IoResult mtc = run(false);
+  const IoResult mpiio = run(true);
+  std::printf("%-12s %-14.3f %zu\n", "mtc", mtc.mean_io_s, mtc.peak_clients);
+  std::printf("%-12s %-14.3f %zu\n", "mpiio", mpiio.mean_io_s,
+              mpiio.peak_clients);
+  return 0;
+}

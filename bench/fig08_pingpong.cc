@@ -1,0 +1,74 @@
+// Fig 8 — MPI messaging performance on the BG/P (§6.1.3).
+//
+// Two-node ping-pong, blocking send/recv, timed with MPI_Wtime, in the two
+// modes of the paper: "native" (vendor messaging on the torus) and
+// "MPICH/sockets" (the MPICH2-over-ZeptoOS-TCP path JETS jobs use).
+// Paper: much higher latency for small messages over sockets, and slightly
+// lower bandwidth for large ones — "primarily due to the use of TCP".
+#include <cstdio>
+#include <memory>
+
+#include "harness.hh"
+#include "mpi/comm.hh"
+
+using namespace jets;
+
+namespace {
+
+struct PingPongResult {
+  double half_rtt_us = 0;   // one-way latency estimate
+  double bandwidth_mbps = 0;
+};
+
+PingPongResult run_pingpong(bool native, std::size_t bytes, int iters) {
+  os::MachineSpec spec = os::Machine::surveyor(64);
+  const net::TorusShape shape{4, 4, 4};
+  if (native) {
+    spec.name = "surveyor-native";
+    spec.fabric = std::make_shared<net::TorusNativeFabric>(shape);
+  } else {
+    spec.fabric = std::make_shared<net::TorusTcpFabric>(shape);
+  }
+  bench::Bed bed(std::move(spec));
+  pmi::MpiexecSpec mspec;
+  mspec.user_argv = {"pingpong", std::to_string(iters), std::to_string(bytes)};
+  mspec.nprocs = 2;
+  pmi::Mpiexec mpx(bed.machine, bed.apps, bed.machine.login_node(), mspec);
+  mpx.start();
+  auto cmds = mpx.proxy_commands();
+  for (std::size_t k = 0; k < cmds.size(); ++k) {
+    os::ExecOptions opts;
+    opts.binary = pmi::kProxyBinary;
+    // Adjacent torus nodes, as a careful benchmarker would pick.
+    os::run_command(bed.machine, bed.apps, static_cast<os::NodeId>(k), cmds[k],
+                    {}, std::move(opts));
+  }
+  bed.run([&]() -> sim::Task<void> { (void)co_await mpx.wait(); });
+
+  PingPongResult r;
+  if (bed.synthetic.pingpong_rtt.count() > 0) {
+    const double rtt = bed.synthetic.pingpong_rtt.mean();
+    r.half_rtt_us = rtt / 2.0 * 1e6;
+    r.bandwidth_mbps = 2.0 * static_cast<double>(bytes) / rtt / 1e6;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::figure_header(
+      "fig08", "ping-pong latency/bandwidth: native vs MPICH/sockets (BG/P)",
+      "sockets mode has order(s)-of-magnitude higher small-message latency "
+      "and mildly lower large-message bandwidth than native");
+  std::printf("%-10s %-14s %-14s %-14s %s\n", "bytes", "native_lat_us",
+              "sockets_lat_us", "native_MB/s", "sockets_MB/s");
+  for (std::size_t bytes = 1; bytes <= (4u << 20); bytes *= 4) {
+    const auto native = run_pingpong(true, bytes, 20);
+    const auto sockets = run_pingpong(false, bytes, 20);
+    std::printf("%-10zu %-14.2f %-14.2f %-14.1f %.1f\n", bytes,
+                native.half_rtt_us, sockets.half_rtt_us,
+                native.bandwidth_mbps, sockets.bandwidth_mbps);
+  }
+  return 0;
+}

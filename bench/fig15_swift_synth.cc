@@ -1,0 +1,80 @@
+// Fig 15 — Swift/Coasters synthetic MPI workloads on Eureka (§6.2.1).
+//
+// The Fig 14 Swift script: a loop of MPI tasks, each doing barrier / 10 s
+// sleep / per-rank rank-file write / barrier, issued through Swift over a
+// persistent Coasters allocation. Grid: allocation in {16,32,64} nodes x
+// nodes-per-job in {1,2,4} x PPN in {1,2,4,8}.
+//
+// Paper shape: for a given allocation, utilization falls as task size
+// (nodes-per-job) or PPN rises — larger placement fan-out per job, plus
+// "increasing PPN exacerbates filesystem delays as the application program
+// is read multiple times" (no staging: every rank loads the image from
+// GPFS, exactly what this harness reproduces).
+#include <cstdio>
+
+#include "harness.hh"
+#include "swift/engine.hh"
+
+using namespace jets;
+
+namespace {
+
+double utilization(std::size_t alloc_nodes, int nodes_per_job, int ppn) {
+  bench::Bed bed(os::Machine::eureka(alloc_nodes));
+  swift::CoasterService::Config cfg;
+  cfg.worker.task_overhead = bench::kX86WorkerOverhead;
+  // First-time-user configuration (§6.2.1): no staging — programs and data
+  // all go to GPFS.
+  cfg.worker.stage_files = {pmi::kProxyBinary};
+  cfg.workers_per_node = 1;
+  cfg.service.dispatch_overhead = sim::microseconds(120);
+  cfg.service.mpi_job_overhead = sim::milliseconds(2);
+  cfg.service.proxy_setup_cost = sim::milliseconds(1);
+  swift::CoasterService coasters(bed.machine, bed.apps, cfg);
+  coasters.start_on(bed.nodes(alloc_nodes));
+  swift::SwiftEngine swiftEngine(bed.machine, coasters);
+
+  const int nprocs = nodes_per_job * ppn;
+  const std::size_t jobs =
+      alloc_nodes / static_cast<std::size_t>(nodes_per_job) * 6;
+  for (std::size_t j = 0; j < jobs; ++j) {
+    swift::AppCall call;
+    call.argv = {"mpi_sleep_write", "10", "/gpfs/out" + std::to_string(j)};
+    call.mpi = true;
+    call.nprocs = nprocs;
+    call.ppn = ppn;
+    swiftEngine.app(std::move(call));
+  }
+  const sim::Time t0 = bed.engine.now();
+  bed.run([&]() -> sim::Task<void> {
+    co_await swiftEngine.run_to_completion();
+  });
+  // Eq. (1) with the configured 10 s duration, over the slots this
+  // configuration can use: alloc_nodes workers x ppn rank slots each.
+  const double busy =
+      10.0 * static_cast<double>(swiftEngine.completed()) * nprocs;
+  const double capacity = static_cast<double>(alloc_nodes) * ppn *
+                          sim::to_seconds(bed.engine.now() - t0);
+  return busy / capacity;
+}
+
+}  // namespace
+
+int main() {
+  bench::figure_header(
+      "fig15", "Swift/Coasters synthetic MPI workloads (Eureka)",
+      "utilization falls with task size and PPN at fixed allocation; "
+      "16/32/64-node panels");
+  std::printf("%-8s %-14s %-6s %s\n", "nodes", "nodes_per_job", "ppn",
+              "utilization");
+  for (std::size_t alloc : {16u, 32u, 64u}) {
+    for (int npj : {1, 2, 4}) {
+      for (int ppn : {1, 2, 4, 8}) {
+        std::printf("%-8zu %-14d %-6d %.3f\n", alloc, npj, ppn,
+                    utilization(alloc, npj, ppn));
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

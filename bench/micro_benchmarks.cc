@@ -1,0 +1,140 @@
+// Micro-benchmarks (google-benchmark) for the substrate itself: these
+// measure the *host-machine* cost of simulation primitives — event
+// throughput, coroutine switches, channel and socket operations, the MD
+// kernel — so regressions in the simulator are caught independently of the
+// figure harnesses.
+#include <benchmark/benchmark.h>
+
+#include "core/standalone.hh"
+#include "md/lj_system.hh"
+#include "net/socket.hh"
+#include "os/machine.hh"
+#include "sim/sim.hh"
+
+using namespace jets;
+
+namespace {
+
+void BM_EngineDelayEvents(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    const auto n = static_cast<int>(state.range(0));
+    e.spawn("ticker", [](int n) -> sim::Task<void> {
+      for (int i = 0; i < n; ++i) co_await sim::delay(sim::microseconds(1));
+    }(n));
+    e.run();
+    benchmark::DoNotOptimize(e.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineDelayEvents)->Arg(1000)->Arg(10000);
+
+void BM_EngineManyActors(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    const auto n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      e.spawn("w", [](int i) -> sim::Task<void> {
+        co_await sim::delay(sim::microseconds(i % 101));
+      }(i));
+    }
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineManyActors)->Arg(1000)->Arg(10000);
+
+void BM_ChannelPingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    sim::Channel<int> a(e), b(e);
+    const auto rounds = static_cast<int>(state.range(0));
+    e.spawn("ping", [](sim::Channel<int>& a, sim::Channel<int>& b,
+                       int rounds) -> sim::Task<void> {
+      for (int i = 0; i < rounds; ++i) {
+        a.push(i);
+        (void)co_await b.recv();
+      }
+    }(a, b, rounds));
+    e.spawn("pong", [](sim::Channel<int>& a, sim::Channel<int>& b,
+                       int rounds) -> sim::Task<void> {
+      for (int i = 0; i < rounds; ++i) {
+        (void)co_await a.recv();
+        b.push(i);
+      }
+    }(a, b, rounds));
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_ChannelPingPong)->Arg(1000);
+
+void BM_SocketMessageRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    net::Network net(e, std::make_shared<net::EthernetFabric>());
+    auto listener = net.listen({1, 9});
+    const auto rounds = static_cast<int>(state.range(0));
+    e.spawn("server", [](net::Listener& l, int rounds) -> sim::Task<void> {
+      auto s = co_await l.accept();
+      for (int i = 0; i < rounds; ++i) {
+        auto m = co_await s->recv();
+        if (!m) co_return;
+        s->send(net::Message("pong"));
+      }
+    }(*listener, rounds));
+    e.spawn("client", [](net::Network& net, int rounds) -> sim::Task<void> {
+      auto s = co_await net.connect(0, {1, 9});
+      for (int i = 0; i < rounds; ++i) {
+        s->send(net::Message("ping"));
+        (void)co_await s->recv();
+      }
+    }(net, rounds));
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SocketMessageRoundTrip)->Arg(500);
+
+void BM_LjStep(benchmark::State& state) {
+  md::LjConfig config;
+  config.particles = static_cast<std::size_t>(state.range(0));
+  md::LjSystem sys(config);
+  for (auto _ : state) {
+    sys.step(1);
+    benchmark::DoNotOptimize(sys.observe().kinetic);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LjStep)->Arg(108)->Arg(500);
+
+void BM_JetsSequentialDispatch(benchmark::State& state) {
+  // Host cost of simulating one full JETS task cycle (dispatch, exec,
+  // done/ready) — the inner loop of the Fig 6/10 harnesses.
+  for (auto _ : state) {
+    sim::Engine engine;
+    os::Machine machine(engine, os::Machine::breadboard(8));
+    os::AppRegistry apps;
+    apps.install(pmi::kProxyBinary, pmi::Mpiexec::proxy_program(apps));
+    machine.shared_fs().put(pmi::kProxyBinary, 2'000'000);
+    apps.install("noop", [](os::Env&) -> sim::Task<void> { co_return; });
+    machine.shared_fs().put("noop", 16'384);
+    core::StandaloneOptions options;
+    options.worker.task_overhead = sim::milliseconds(1);
+    core::StandaloneJets jets(machine, apps, options);
+    jets.start({0, 1, 2, 3, 4, 5, 6, 7});
+    std::vector<core::JobSpec> jobs(static_cast<std::size_t>(state.range(0)));
+    for (auto& j : jobs) j.argv = {"noop"};
+    engine.spawn("driver", [](core::StandaloneJets& jets,
+                              std::vector<core::JobSpec> jobs) -> sim::Task<void> {
+      (void)co_await jets.run_batch(std::move(jobs));
+    }(jets, std::move(jobs)));
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_JetsSequentialDispatch)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+#include "apps/namd.hh"
+
+#include <chrono>
+#include <cmath>
+
+#include "md/lj_system.hh"
+#include "mpi/comm.hh"
+#include "sim/random.hh"
+
+namespace jets::apps {
+
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+double sample_segment_seconds(const NamdModel& model, const std::string& tag) {
+  sim::Rng rng(fnv1a(tag));
+  // ~91.5 % of the median is the deterministic floor; the rest is a
+  // lognormal straggler tail. Median stays at model.median_seconds.
+  const double floor = 0.915 * model.median_seconds;
+  return floor + rng.lognormal_median(0.085 * model.median_seconds, model.sigma);
+}
+
+double calibrate_from_kernel(std::size_t atoms, std::size_t steps,
+                             double machine_slowdown) {
+  // Run a small real LJ system and scale: the all-pairs force loop is
+  // O(N^2) at fixed density with our simple implementation (cell lists
+  // would make it O(N)); NAMD-like codes are closer to O(N), so we scale
+  // linearly in N and in steps, then apply the host-vs-BG/P slowdown.
+  md::LjConfig config;
+  config.particles = 500;
+  md::LjSystem sys(config);
+  sys.step(5);  // warm-up
+  const auto t0 = std::chrono::steady_clock::now();
+  constexpr std::size_t kMeasuredSteps = 10;
+  sys.step(kMeasuredSteps);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double per_step_per_atom =
+      std::chrono::duration<double>(t1 - t0).count() /
+      static_cast<double>(kMeasuredSteps) /
+      static_cast<double>(config.particles);
+  return per_step_per_atom * static_cast<double>(atoms) *
+         static_cast<double>(steps) * machine_slowdown;
+}
+
+void install_namd_app(os::AppRegistry& registry, NamdModel model) {
+  registry.install("namd_segment", [model](os::Env& env) -> sim::Task<void> {
+    const double median =
+        env.argv.size() > 1 ? std::stod(env.argv[1]) : model.median_seconds;
+    const double sigma =
+        env.argv.size() > 2 ? std::stod(env.argv[2]) : model.sigma;
+    const std::string tag = env.argv.size() > 3 ? env.argv[3] : "seg";
+    NamdModel m = model;
+    m.median_seconds = median;
+    m.sigma = sigma;
+    const double compute_s = sample_segment_seconds(m, tag);
+
+    if (env.pmi != nullptr) {
+      auto comm = co_await mpi::Comm::init(env);
+      co_await comm->barrier();
+      if (comm->rank() == 0) {
+        // MPI-IO style aggregation: one filesystem client per job.
+        co_await env.machine->shared_fs().io(m.input_bytes, m.input_files);
+      }
+      co_await sim::delay(sim::from_seconds(compute_s));
+      co_await comm->barrier();
+      if (comm->rank() == 0) {
+        co_await env.machine->shared_fs().io(m.output_bytes, m.output_files);
+        env.write_stdout(m.stdout_bytes);
+      }
+      co_await comm->finalize();
+    } else {
+      co_await env.machine->shared_fs().io(m.input_bytes, m.input_files);
+      co_await sim::delay(sim::from_seconds(compute_s));
+      co_await env.machine->shared_fs().io(m.output_bytes, m.output_files);
+      env.write_stdout(m.stdout_bytes);
+    }
+  });
+}
+
+}  // namespace jets::apps

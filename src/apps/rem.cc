@@ -1,0 +1,98 @@
+#include "apps/rem.hh"
+
+#include <string>
+#include <vector>
+
+namespace jets::apps {
+
+namespace {
+
+std::string seg_name(const char* kind, int i, int j) {
+  return std::string("/gpfs/rem/") + kind + "." + std::to_string(i) + "." +
+         std::to_string(j);
+}
+
+}  // namespace
+
+void build_rem_workflow(swift::SwiftEngine& engine,
+                        const RemWorkflowConfig& config) {
+  const int R = config.replicas;
+  const int J = config.exchanges;
+
+  // File futures: c/v/s (NAMD coordinates, velocities, extended system),
+  // o (NAMD stdout), x (exchange token), per segment — Fig 17's arrays.
+  auto grid = [&](const char* kind) {
+    std::vector<std::vector<swift::DataPtr>> g(
+        static_cast<std::size_t>(R),
+        std::vector<swift::DataPtr>(static_cast<std::size_t>(J + 1)));
+    for (int i = 0; i < R; ++i) {
+      for (int j = 0; j <= J; ++j) {
+        g[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+            engine.file(seg_name(kind, i, j), kind[0] == 'o' ? 11'000 : 740'000);
+      }
+    }
+    return g;
+  };
+  auto c = grid("c"), v = grid("v"), s = grid("s"), o = grid("o"), x = grid("x");
+
+  // Column 0 holds the initial conditions: set immediately.
+  for (int i = 0; i < R; ++i) {
+    for (auto* g : {&c, &v, &s, &x}) {
+      (*g)[static_cast<std::size_t>(i)][0]->set();
+    }
+  }
+
+  // Segments: namd(i, j) consumes (c,v,s)[i][j-1] and the exchange token
+  // x[i][j-1], produces (c,v,s,o)[i][j].
+  for (int i = 0; i < R; ++i) {
+    for (int j = 1; j <= J; ++j) {
+      const auto ii = static_cast<std::size_t>(i);
+      const auto jj = static_cast<std::size_t>(j);
+      swift::AppCall call;
+      call.argv = {"namd_segment", std::to_string(config.namd.median_seconds),
+                   std::to_string(config.namd.sigma),
+                   "rem-" + std::to_string(config.seed) + "-" +
+                       std::to_string(i) + "-" + std::to_string(j)};
+      call.inputs = {c[ii][jj - 1], v[ii][jj - 1], s[ii][jj - 1],
+                     x[ii][jj - 1]};
+      call.outputs = {c[ii][jj], v[ii][jj], s[ii][jj], o[ii][jj]};
+      call.mpi = config.mpi;
+      call.nprocs = config.nprocs;
+      call.ppn = config.ppn;
+      engine.app(std::move(call));
+    }
+  }
+
+  // Exchanges after each column j (j = 1..J-1 feed the next column; the
+  // final column needs no exchange). Alternating parity pairs neighbours;
+  // unpaired edge replicas get a trivial pass-through token.
+  for (int j = 1; j < J; ++j) {
+    const auto jj = static_cast<std::size_t>(j);
+    std::vector<bool> paired(static_cast<std::size_t>(R), false);
+    const int start = j % 2 == 0 ? 1 : 0;  // Fig 17's %% parity flip
+    for (int i = start; i + 1 < R; i += 2) {
+      const auto ii = static_cast<std::size_t>(i);
+      swift::AppCall ex;
+      ex.argv = {"rem_exchange"};
+      ex.inputs = {o[ii][jj], o[ii + 1][jj]};
+      ex.outputs = {x[ii][jj], x[ii + 1][jj]};
+      ex.run_on_login = true;  // filesystem-bound; keep compute slots free
+      ex.login_cost = config.exchange_cost;
+      engine.app(std::move(ex));
+      paired[ii] = paired[ii + 1] = true;
+    }
+    for (int i = 0; i < R; ++i) {
+      if (paired[static_cast<std::size_t>(i)]) continue;
+      const auto ii = static_cast<std::size_t>(i);
+      swift::AppCall pass;
+      pass.argv = {"rem_pass"};
+      pass.inputs = {o[ii][jj]};
+      pass.outputs = {x[ii][jj]};
+      pass.run_on_login = true;
+      pass.login_cost = 0;
+      engine.app(std::move(pass));
+    }
+  }
+}
+
+}  // namespace jets::apps

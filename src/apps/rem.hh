@@ -1,0 +1,46 @@
+// The asynchronous REM dataflow of paper Figs 16/17, built on the Swift
+// engine: rows are replica trajectories, columns are exchange epochs; a
+// segment (i, j) consumes replica i's coordinate/velocity/extended-system
+// files from column j-1 plus the exchange token of the (i, j-1) exchange,
+// and produces the column-j files. Exchanges pair neighbouring replicas
+// with alternating parity and run as filesystem-bound scripts on the login
+// node ("freeing the compute nodes for the next ready NAMD segment",
+// §6.2.2). Everything executes concurrently, limited only by these
+// dependencies — exactly Swift's semantics.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/namd.hh"
+#include "swift/engine.hh"
+
+namespace jets::apps {
+
+struct RemWorkflowConfig {
+  int replicas = 8;
+  int exchanges = 4;  // columns of segments after the initial one
+  /// Run each segment as an MPI job of `nprocs` ranks (ppn per worker);
+  /// false = single-process segments (Fig 18a vs 18b).
+  bool mpi = false;
+  int nprocs = 8;
+  int ppn = 8;
+  /// NAMD model parameters for the segments.
+  NamdModel namd;
+  /// Cost of the exchange script on the login node (file shuffling).
+  sim::Duration exchange_cost = sim::milliseconds(400);
+  std::uint64_t seed = 7;
+};
+
+/// Registers the whole REM dataflow on `engine`. Segments use the
+/// "namd_segment" app (install_namd_app must have been called on the
+/// registry backing the CoasterService). Call engine.run_to_completion()
+/// afterwards.
+void build_rem_workflow(swift::SwiftEngine& engine,
+                        const RemWorkflowConfig& config);
+
+/// Expected number of NAMD segment jobs the workflow will run.
+inline int rem_segment_count(const RemWorkflowConfig& c) {
+  return c.replicas * c.exchanges;
+}
+
+}  // namespace jets::apps

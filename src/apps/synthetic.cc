@@ -1,0 +1,84 @@
+#include "apps/synthetic.hh"
+
+#include <string>
+
+#include "mpi/comm.hh"
+
+namespace jets::apps {
+
+namespace {
+
+double arg_seconds(const os::Env& env, std::size_t idx, double fallback) {
+  if (env.argv.size() <= idx) return fallback;
+  return std::stod(env.argv[idx]);
+}
+
+}  // namespace
+
+void install_synthetic_apps(os::AppRegistry& registry,
+                            SyntheticResults* results) {
+  registry.install("noop", [](os::Env&) -> sim::Task<void> { co_return; });
+
+  registry.install("sleep", [](os::Env& env) -> sim::Task<void> {
+    co_await sim::delay(sim::from_seconds(arg_seconds(env, 1, 1.0)));
+  });
+
+  // The Fig 7/9 app: "starts up, performs an MPI barrier on all processes,
+  // waits for a given time, performs a second MPI barrier, and exits."
+  registry.install("mpi_sleep", [](os::Env& env) -> sim::Task<void> {
+    auto comm = co_await mpi::Comm::init(env);
+    co_await comm->barrier();
+    co_await sim::delay(sim::from_seconds(arg_seconds(env, 1, 1.0)));
+    co_await comm->barrier();
+    co_await comm->finalize();
+  });
+
+  // The Fig 15 app: barrier, 10 s sleep, each process writes its MPI rank
+  // to an output file, barrier, exit (§6.2.1).
+  registry.install("mpi_sleep_write", [](os::Env& env) -> sim::Task<void> {
+    auto comm = co_await mpi::Comm::init(env);
+    co_await comm->barrier();
+    co_await sim::delay(sim::from_seconds(arg_seconds(env, 1, 10.0)));
+    const std::string out =
+        (env.argv.size() > 2 ? env.argv[2] : std::string("/gpfs/out")) + "." +
+        std::to_string(comm->rank());
+    co_await env.machine->shared_fs().write(out, 16);
+    co_await comm->barrier();
+    co_await comm->finalize();
+  });
+
+  registry.install("pingpong", [results](os::Env& env) -> sim::Task<void> {
+    const int iters =
+        env.argv.size() > 1 ? std::stoi(env.argv[1]) : 100;
+    const std::size_t bytes =
+        env.argv.size() > 2 ? std::stoul(env.argv[2]) : 8;
+    auto comm = co_await mpi::Comm::init(env);
+    // Warm up the pair connection so measured iterations exclude the
+    // one-time connect handshake, as a real pingpong's first iteration
+    // would be discarded.
+    if (comm->rank() == 0) {
+      co_await comm->send(1, 1);
+      (void)co_await comm->recv(1);
+    } else {
+      (void)co_await comm->recv(0);
+      co_await comm->send(0, 1);
+    }
+    const double t0 = comm->wtime();
+    for (int i = 0; i < iters; ++i) {
+      if (comm->rank() == 0) {
+        co_await comm->send(1, bytes);
+        (void)co_await comm->recv(1);
+      } else {
+        (void)co_await comm->recv(0);
+        co_await comm->send(0, bytes);
+      }
+    }
+    if (comm->rank() == 0 && results != nullptr) {
+      results->pingpong_rtt.add((comm->wtime() - t0) / iters);
+      results->pingpong_bytes = bytes;
+    }
+    co_await comm->finalize();
+  });
+}
+
+}  // namespace jets::apps

@@ -1,0 +1,33 @@
+// Synthetic benchmark applications (paper §6.1.1, §6.1.2, §6.1.3, §6.2.1).
+//
+//   noop                         — exits immediately (Fig 6, Fig 10)
+//   sleep <seconds>              — sequential busy app
+//   mpi_sleep <seconds>          — MPI_Barrier; sleep; MPI_Barrier (Fig 7/9)
+//   mpi_sleep_write <secs> <out> — barrier; sleep; each rank writes its rank
+//                                  to a shared-fs file; barrier (Fig 15)
+//   pingpong <iters> <bytes>     — two-rank blocking send/recv loop timed
+//                                  with MPI_Wtime (Fig 8)
+//
+// Results that only the application can observe (ping-pong round trips)
+// are deposited into a SyntheticResults sink owned by the harness.
+#pragma once
+
+#include "os/program.hh"
+#include "sim/stats.hh"
+
+namespace jets::apps {
+
+struct SyntheticResults {
+  /// Per-round-trip times (seconds) recorded by "pingpong" rank 0.
+  sim::Summary pingpong_rtt;
+  /// Payload bytes of the last ping-pong run (for bandwidth derivation).
+  std::size_t pingpong_bytes = 0;
+};
+
+/// Installs the synthetic apps into `registry`. If `results` is non-null it
+/// must outlive every run. Binaries are NOT registered on any filesystem —
+/// harnesses decide where each app's image lives (GPFS vs staged).
+void install_synthetic_apps(os::AppRegistry& registry,
+                            SyntheticResults* results = nullptr);
+
+}  // namespace jets::apps

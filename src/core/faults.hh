@@ -1,0 +1,51 @@
+// Fault injection (§6.1.5): terminates randomly selected pilot jobs, one at
+// a time, at regular intervals — the exact protocol of the paper's faulty-
+// setting experiment. Because a worker's tasks are its process children,
+// killing the pilot takes the running task down with it, and the service
+// notices through the broken socket.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "os/machine.hh"
+#include "sim/random.hh"
+#include "sim/time.hh"
+
+namespace jets::core {
+
+class FaultInjector {
+ public:
+  FaultInjector(os::Machine& machine, std::vector<os::Machine::Pid> victims,
+                sim::Duration interval, sim::Rng rng)
+      : machine_(&machine), victims_(std::move(victims)), interval_(interval),
+        rng_(rng) {}
+
+  /// Schedules kills: one victim per interval until the pool is empty.
+  void start() { arm_next(); }
+
+  std::size_t killed() const { return killed_; }
+  std::size_t remaining() const { return victims_.size(); }
+
+ private:
+  void arm_next() {
+    if (victims_.empty()) return;
+    machine_->engine().call_in(interval_, [this] {
+      if (victims_.empty()) return;
+      const auto idx = static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(victims_.size()) - 1));
+      machine_->kill(victims_[idx]);
+      victims_.erase(victims_.begin() + static_cast<std::ptrdiff_t>(idx));
+      ++killed_;
+      arm_next();
+    });
+  }
+
+  os::Machine* machine_;
+  std::vector<os::Machine::Pid> victims_;
+  sim::Duration interval_;
+  sim::Rng rng_;
+  std::size_t killed_ = 0;
+};
+
+}  // namespace jets::core

@@ -1,0 +1,93 @@
+#include "core/job.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace jets::core {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> toks;
+  std::string t;
+  while (is >> t) toks.push_back(std::move(t));
+  return toks;
+}
+
+}  // namespace
+
+std::vector<JobSpec> parse_job_list(const std::string& text, int default_ppn) {
+  if (default_ppn < 1) throw std::invalid_argument("ppn must be >= 1");
+  std::vector<JobSpec> jobs;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::vector<std::string> toks = tokenize(line);
+    if (toks.empty()) continue;
+    JobSpec spec;
+    spec.ppn = default_ppn;
+    bool is_mpi = toks[0] == "MPI:";
+    if (!is_mpi && toks[0].rfind("MPI[", 0) == 0 && toks[0].back() == ':') {
+      // Per-line options: MPI[ppn=K]:
+      const std::string opts = toks[0].substr(4, toks[0].size() - 6);
+      if (toks[0][toks[0].size() - 2] != ']' || opts.rfind("ppn=", 0) != 0) {
+        throw std::invalid_argument("line " + std::to_string(lineno) +
+                                    ": bad MPI options '" + toks[0] + "'");
+      }
+      try {
+        spec.ppn = std::stoi(opts.substr(4));
+      } catch (const std::exception&) {
+        throw std::invalid_argument("line " + std::to_string(lineno) +
+                                    ": bad ppn in '" + toks[0] + "'");
+      }
+      if (spec.ppn < 1) {
+        throw std::invalid_argument("line " + std::to_string(lineno) +
+                                    ": ppn must be >= 1");
+      }
+      is_mpi = true;
+    }
+    if (is_mpi) {
+      if (toks.size() < 3) {
+        throw std::invalid_argument("line " + std::to_string(lineno) +
+                                    ": MPI: needs a process count and command");
+      }
+      spec.kind = JobKind::kMpi;
+      try {
+        spec.nprocs = std::stoi(toks[1]);
+      } catch (const std::exception&) {
+        throw std::invalid_argument("line " + std::to_string(lineno) +
+                                    ": bad MPI process count '" + toks[1] + "'");
+      }
+      if (spec.nprocs < 1) {
+        throw std::invalid_argument("line " + std::to_string(lineno) +
+                                    ": MPI process count must be >= 1");
+      }
+      spec.argv.assign(toks.begin() + 2, toks.end());
+    } else {
+      spec.kind = JobKind::kSequential;
+      spec.nprocs = 1;
+      spec.ppn = 1;
+      spec.argv = std::move(toks);
+    }
+    jobs.push_back(std::move(spec));
+  }
+  return jobs;
+}
+
+std::string to_line(const JobSpec& spec) {
+  std::ostringstream os;
+  if (spec.kind == JobKind::kMpi) os << "MPI: " << spec.nprocs << ' ';
+  for (std::size_t i = 0; i < spec.argv.size(); ++i) {
+    if (i) os << ' ';
+    os << spec.argv[i];
+  }
+  return os.str();
+}
+
+}  // namespace jets::core

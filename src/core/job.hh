@@ -1,0 +1,78 @@
+// JETS job specifications and the stand-alone input-file format.
+//
+// The stand-alone `jets` tool consumes a simple text file (paper §5.1):
+//
+//   MPI: 4 namd2.sh input-1.pdb output-1.log
+//   MPI: 8 namd2.sh input-2.pdb output-2.log
+//   MPI[ppn=4]: 16 namd2.sh input-3.pdb output-3.log
+//   my_serial_tool --flag in.dat
+//
+// `MPI: n cmd...` runs cmd as an n-process MPI job (the optional
+// `[ppn=k]` packs k ranks per worker); bare lines run as single-process
+// (Falkon-style) tasks. Hostnames are never specified — JETS binds jobs
+// to whichever workers are ready at run time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/fabric.hh"
+#include "sim/time.hh"
+
+namespace jets::core {
+
+using JobId = std::uint64_t;
+
+enum class JobKind { kSequential, kMpi };
+
+struct JobSpec {
+  JobKind kind = JobKind::kSequential;
+  /// Total MPI process count (1 for sequential jobs).
+  int nprocs = 1;
+  /// MPI ranks per worker/proxy ("PPN"); workers_needed() derives from it.
+  int ppn = 1;
+  std::vector<std::string> argv;
+  std::map<std::string, std::string> vars;
+  /// 0 = no timeout; otherwise the service aborts the job after this long.
+  sim::Duration timeout = 0;
+  /// Scheduling priority for the priority/backfill policy (higher first);
+  /// ignored by the paper's default FIFO scheduler.
+  int priority = 0;
+
+  /// Number of workers (pilot slots) this job occupies while running.
+  int workers_needed() const {
+    if (kind == JobKind::kSequential) return 1;
+    return (nprocs + ppn - 1) / ppn;
+  }
+};
+
+/// Final state of one job as tracked by the service.
+enum class JobStatus { kPending, kRunning, kDone, kFailed };
+
+struct JobRecord {
+  JobId id = 0;
+  JobSpec spec;
+  JobStatus status = JobStatus::kPending;
+  int attempts = 0;
+  /// Nodes hosting the last attempt's workers (for locality analyses).
+  std::vector<net::NodeId> nodes;
+  sim::Time submitted_at = 0;
+  sim::Time started_at = -1;   // last attempt's start
+  sim::Time finished_at = -1;
+  /// Wall time of the successful attempt, seconds.
+  double wall_seconds() const {
+    if (finished_at < 0 || started_at < 0) return 0.0;
+    return sim::to_seconds(finished_at - started_at);
+  }
+};
+
+/// Parses the stand-alone input format. Blank lines and '#' comments are
+/// skipped. Throws std::invalid_argument on malformed lines.
+std::vector<JobSpec> parse_job_list(const std::string& text, int default_ppn = 1);
+
+/// Renders a spec back to its input-file line (round-trips parse output).
+std::string to_line(const JobSpec& spec);
+
+}  // namespace jets::core

@@ -1,0 +1,393 @@
+#include "core/service.hh"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace jets::core {
+
+Service::Service(os::Machine& machine, const os::AppRegistry& apps,
+                 os::NodeId host, Config config)
+    : machine_(&machine), apps_(&apps), host_(host), config_(config) {
+  kick_ch_ = std::make_unique<sim::Channel<int>>(machine.engine());
+  all_done_ = std::make_unique<sim::Gate>(machine.engine());
+}
+
+Service::Service(os::Machine& machine, const os::AppRegistry& apps,
+                 os::NodeId host)
+    : Service(machine, apps, host, Config{}) {}
+
+Service::~Service() {
+  for (sim::ActorId id : actors_) machine_->engine().kill(id);
+}
+
+void Service::start() {
+  if (started_) return;
+  started_ = true;
+  addr_ = net::Address{host_, machine_->allocate_port()};
+  listener_ = machine_->network().listen(addr_);
+  actors_.push_back(machine_->engine().spawn("jets-accept", accept_loop()));
+  actors_.push_back(machine_->engine().spawn("jets-dispatch", dispatch_loop()));
+}
+
+JobId Service::submit(JobSpec spec) {
+  if (spec.argv.empty()) throw std::invalid_argument("job with empty argv");
+  const JobId id = next_job_++;
+  Job job;
+  job.rec.id = id;
+  job.rec.spec = std::move(spec);
+  job.rec.submitted_at = machine_->engine().now();
+  auto [it, _] = jobs_.emplace(id, std::move(job));
+  queue_.push_back(id);
+  all_done_->close();
+  // The job's timeout is a deadline measured from submission: it covers
+  // queue time too, so a job that can never be placed (e.g. wider than the
+  // allocation) still settles.
+  const sim::Duration timeout = it->second.rec.spec.timeout > 0
+                                    ? it->second.rec.spec.timeout
+                                    : config_.default_job_timeout;
+  if (timeout > 0) {
+    it->second.timeout = machine_->engine().call_in(
+        timeout, [this, id] { deadline_expired(id); });
+  }
+  if (started_) kick();
+  return id;
+}
+
+void Service::deadline_expired(JobId id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return;
+  Job& job = it->second;
+  job.deadline_passed = true;
+  if (job.rec.status == JobStatus::kPending) {
+    std::erase(queue_, id);
+    job.rec.status = JobStatus::kFailed;
+    job.rec.finished_at = machine_->engine().now();
+    ++failed_;
+    if (job.settled) job.settled->open();
+    if (hooks_.on_job_finish) hooks_.on_job_finish(job.rec);
+    kick();
+    check_all_done();
+  } else if (job.rec.status == JobStatus::kRunning) {
+    if (job.mpx) {
+      job.mpx->abort("job deadline");  // its waiter finishes the job
+    } else {
+      for (WorkerId wid : job.assigned) {
+        Worker& w = workers_.at(wid);
+        if (w.connected && w.sock) {
+          w.sock->send(net::Message(kMsgKill, {w.task_id}));
+        }
+      }
+    }
+  }
+}
+
+std::vector<JobId> Service::submit_batch(const std::vector<JobSpec>& specs) {
+  std::vector<JobId> ids;
+  ids.reserve(specs.size());
+  for (const JobSpec& s : specs) ids.push_back(submit(s));
+  return ids;
+}
+
+sim::Task<void> Service::wait_all() {
+  check_all_done();
+  co_await all_done_->wait();
+}
+
+sim::Task<void> Service::wait_job(JobId id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) co_return;
+  Job& job = it->second;
+  if (job.rec.status == JobStatus::kDone || job.rec.status == JobStatus::kFailed) {
+    co_return;
+  }
+  if (!job.settled) job.settled = std::make_unique<sim::Gate>(machine_->engine());
+  co_await job.settled->wait();
+}
+
+std::vector<JobRecord> Service::records() const {
+  std::vector<JobRecord> out;
+  out.reserve(jobs_.size());
+  for (const auto& [_, job] : jobs_) out.push_back(job.rec);
+  return out;
+}
+
+std::size_t Service::ready_workers() const { return ready_.size(); }
+
+sim::Task<void> Service::stage_to_workers(const std::string& path) {
+  auto size = machine_->shared_fs().size(path);
+  if (!size) throw std::invalid_argument("stage_to_workers: no such file " + path);
+  // The service itself reads the file once from the shared filesystem,
+  // then fans it out over the persistent worker connections.
+  co_await machine_->shared_fs().read(path);
+  StageOp& op = staging_[path];
+  if (!op.done) op.done = std::make_unique<sim::Gate>(machine_->engine());
+  op.done->close();
+  for (auto& [wid, w] : workers_) {
+    if (!w.connected || !w.sock) continue;
+    ++op.remaining;
+    net::Message m(kMsgStageIn, {path}, *size);
+    w.sock->send(std::move(m));
+  }
+  if (op.remaining == 0) co_return;
+  co_await op.done->wait();
+}
+
+void Service::check_all_done() {
+  if (!queue_.empty() || running_ != 0) return;
+  if (completed_ + failed_ == jobs_.size()) all_done_->open();
+}
+
+// --- Worker side -------------------------------------------------------------
+
+sim::Task<void> Service::accept_loop() {
+  for (;;) {
+    net::SocketPtr sock = co_await listener_->accept();
+    if (!sock) co_return;
+    actors_.push_back(machine_->engine().spawn(
+        "jets-worker-conn", worker_handler(std::move(sock))));
+  }
+}
+
+sim::Task<void> Service::worker_handler(net::SocketPtr sock) {
+  WorkerId wid = 0;
+  for (;;) {
+    auto m = co_await sock->recv();
+    if (!m) break;
+    if (m->tag == kMsgRegister) {
+      wid = next_worker_++;
+      Worker w;
+      w.id = wid;
+      w.node = static_cast<os::NodeId>(std::stoul(m->args.at(0)));
+      w.sock = sock;
+      w.connected = true;
+      workers_.emplace(wid, std::move(w));
+      ++connected_;
+    } else if (m->tag == kMsgReady && wid != 0) {
+      Worker& w = workers_.at(wid);
+      w.busy = false;
+      w.job = 0;
+      ready_.push_back(wid);
+      kick();
+    } else if (m->tag == kMsgStaged) {
+      auto it = staging_.find(m->args.at(0));
+      if (it != staging_.end() && it->second.remaining > 0) {
+        if (--it->second.remaining == 0) it->second.done->open();
+      }
+    } else if (m->tag == kMsgDone && wid != 0) {
+      const std::string& task_id = m->args.at(0);
+      const int status = std::stoi(m->args.at(1));
+      auto it = task_to_job_.find(task_id);
+      if (it != task_to_job_.end()) {
+        const JobId jid = it->second;
+        task_to_job_.erase(it);
+        job_finished(jid, status);
+      }
+      // Proxy exits of MPI jobs land here too; mpiexec owns their outcome.
+    }
+  }
+  // Worker gone (allocation expired, node fault, kill): disregard it.
+  if (wid != 0) {
+    auto it = workers_.find(wid);
+    if (it != workers_.end() && it->second.connected) {
+      it->second.connected = false;
+      --connected_;
+      std::erase(ready_, wid);
+      if (it->second.busy && it->second.job != 0) {
+        // Its task cannot finish; fail the attempt so the job can retry on
+        // other workers ("minimizing their impact", §5 feature 3).
+        job_finished(it->second.job, /*status=*/1);
+      }
+    }
+  }
+}
+
+// --- Scheduling --------------------------------------------------------------
+
+std::optional<JobId> Service::choose_job() {
+  if (queue_.empty()) return std::nullopt;
+  if (config_.policy == SchedPolicy::kFifo) {
+    const JobId head = queue_.front();
+    const auto needed =
+        static_cast<std::size_t>(jobs_.at(head).rec.spec.workers_needed());
+    if (ready_.size() < needed) return std::nullopt;  // head-of-line blocks
+    queue_.pop_front();
+    return head;
+  }
+  // Priority + backfill: scan in (priority desc, FIFO) order; take the
+  // first job whose worker demand fits the currently ready pool.
+  std::vector<std::size_t> order(queue_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return jobs_.at(queue_[a]).rec.spec.priority >
+           jobs_.at(queue_[b]).rec.spec.priority;
+  });
+  for (std::size_t idx : order) {
+    const JobId id = queue_[idx];
+    const auto needed =
+        static_cast<std::size_t>(jobs_.at(id).rec.spec.workers_needed());
+    if (ready_.size() >= needed) {
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+      return id;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Service::WorkerId> Service::claim_workers(std::size_t count) {
+  std::vector<WorkerId> claimed;
+  claimed.reserve(count);
+  if (!config_.network_aware_grouping || count <= 1) {
+    // Paper default: first come, first served (§6.1.4).
+    while (claimed.size() < count && !ready_.empty()) {
+      claimed.push_back(ready_.front());
+      ready_.pop_front();
+    }
+  } else {
+    // §7 extension: pick the window of ready workers with the smallest
+    // node-id span (node ids are laid out along the torus, so a small span
+    // means fewer hops between the job's processes).
+    std::vector<WorkerId> pool(ready_.begin(), ready_.end());
+    std::sort(pool.begin(), pool.end(), [this](WorkerId a, WorkerId b) {
+      return workers_.at(a).node < workers_.at(b).node;
+    });
+    std::size_t best = 0;
+    os::NodeId best_span = std::numeric_limits<os::NodeId>::max();
+    for (std::size_t i = 0; i + count <= pool.size(); ++i) {
+      const os::NodeId span = workers_.at(pool[i + count - 1]).node -
+                              workers_.at(pool[i]).node;
+      if (span < best_span) {
+        best_span = span;
+        best = i;
+      }
+    }
+    claimed.assign(pool.begin() + static_cast<std::ptrdiff_t>(best),
+                   pool.begin() + static_cast<std::ptrdiff_t>(best + count));
+    for (WorkerId wid : claimed) std::erase(ready_, wid);
+  }
+  for (WorkerId wid : claimed) workers_.at(wid).busy = true;
+  return claimed;
+}
+
+sim::Task<void> Service::dispatch_loop() {
+  for (;;) {
+    auto signal = co_await kick_ch_->recv();
+    if (!signal) co_return;
+    for (;;) {
+      std::optional<JobId> pick = choose_job();
+      if (!pick) break;
+      co_await place_job(*pick);
+    }
+  }
+}
+
+sim::Task<void> Service::place_job(JobId id) {
+  Job& job = jobs_.at(id);
+  const JobSpec& spec = job.rec.spec;
+  const auto needed = static_cast<std::size_t>(spec.workers_needed());
+  job.assigned = claim_workers(needed);
+  job.rec.status = JobStatus::kRunning;
+  job.rec.started_at = machine_->engine().now();
+  ++job.rec.attempts;
+  ++running_;
+  job.rec.nodes.clear();
+  for (WorkerId wid : job.assigned) {
+    workers_.at(wid).job = id;
+    job.rec.nodes.push_back(workers_.at(wid).node);
+  }
+  if (hooks_.on_job_start) hooks_.on_job_start(job.rec);
+
+  if (spec.kind == JobKind::kSequential) {
+    const std::string tid = "t" + std::to_string(next_task_++);
+    task_to_job_[tid] = id;
+    job.task_id = tid;
+    Worker& w = workers_.at(job.assigned.front());
+    w.task_id = tid;
+    co_await sim::delay(config_.dispatch_overhead);
+    if (w.connected) w.sock->send(make_run_message(tid, spec.argv, spec.vars));
+  } else {
+    co_await sim::delay(config_.mpi_job_overhead);
+    pmi::MpiexecSpec mspec;
+    mspec.user_argv = spec.argv;
+    mspec.nprocs = spec.nprocs;
+    mspec.ranks_per_proxy = spec.ppn;
+    mspec.user_vars = spec.vars;
+    mspec.proxy_setup_cost = config_.proxy_setup_cost;
+    job.mpx = std::make_shared<pmi::Mpiexec>(*machine_, *apps_, host_, mspec);
+    job.mpx->start();
+    const auto cmds = job.mpx->proxy_commands();
+    for (std::size_t k = 0; k < cmds.size(); ++k) {
+      Worker& w = workers_.at(job.assigned.at(k));
+      const std::string tid = "t" + std::to_string(next_task_++);
+      w.task_id = tid;
+      co_await sim::delay(config_.dispatch_overhead);
+      if (w.connected) w.sock->send(make_run_message(tid, cmds[k], {}));
+    }
+    // Completion is observed through mpiexec, whose output JETS checks.
+    // The waiter holds shared ownership: it is the coroutine suspended
+    // inside mpx->wait(), so mpx must survive until it unwinds.
+    actors_.push_back(machine_->engine().spawn(
+        "jets-job-waiter",
+        [](Service* s, JobId id, std::shared_ptr<pmi::Mpiexec> mpx) -> sim::Task<void> {
+          const int rc = co_await mpx->wait();
+          s->job_finished(id, rc);
+        }(this, id, job.mpx)));
+  }
+}
+
+void Service::job_finished(JobId id, int status) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return;
+  Job& job = it->second;
+  if (job.rec.status != JobStatus::kRunning) return;  // already settled
+  job.timeout.cancel();
+  --running_;
+
+  if (status != 0) {
+    // Reap stragglers: any connected worker still running a piece of this
+    // job gets a kill; its own done/ready cycle frees it.
+    for (WorkerId wid : job.assigned) {
+      Worker& w = workers_.at(wid);
+      if (w.connected && w.busy && w.job == id && w.sock) {
+        w.sock->send(net::Message(kMsgKill, {w.task_id}));
+      }
+    }
+  }
+  for (WorkerId wid : job.assigned) {
+    Worker& w = workers_.at(wid);
+    if (w.job == id) w.job = 0;
+  }
+  job.assigned.clear();
+  if (!job.task_id.empty()) {
+    task_to_job_.erase(job.task_id);
+    job.task_id.clear();
+  }
+  if (job.mpx) {
+    // Release any actor still blocked in mpx->wait() before destroying the
+    // gate it waits on, then tear down the control service (PMI EOF
+    // unblocks any surviving ranks).
+    job.mpx->abort("job settled");
+    job.mpx.reset();
+  }
+
+  if (status == 0) {
+    job.rec.status = JobStatus::kDone;
+    job.rec.finished_at = machine_->engine().now();
+    ++completed_;
+    if (job.settled) job.settled->open();
+    if (hooks_.on_job_finish) hooks_.on_job_finish(job.rec);
+  } else if (job.rec.attempts < config_.max_attempts && !job.deadline_passed) {
+    job.rec.status = JobStatus::kPending;
+    queue_.push_back(id);
+  } else {
+    job.rec.status = JobStatus::kFailed;
+    job.rec.finished_at = machine_->engine().now();
+    ++failed_;
+    if (job.settled) job.settled->open();
+    if (hooks_.on_job_finish) hooks_.on_job_finish(job.rec);
+  }
+  kick();
+  check_all_done();
+}
+
+}  // namespace jets::core

@@ -1,0 +1,195 @@
+// The central JETS service (dispatcher).
+//
+// The essential JETS idea (§5): transform an MPI job specification into a
+// set of Hydra proxy invocations — by running a background mpiexec with
+// launcher=manual — and rapidly push those proxy command lines to ready
+// pilot-job workers over persistent sockets. Sequential jobs are pushed
+// directly (Falkon-style). The service:
+//
+//   * keeps a FIFO job queue and a first-come-first-served ready-worker
+//     pool (the paper's defaults; §6.1.4);
+//   * aggregates independent workers into MPI-capable groups of exactly
+//     the size each job needs;
+//   * checks mpiexec outcomes and retries failed jobs on fresh workers,
+//     automatically disregarding workers that fail or hang (§5 feature 3,
+//     Fig 10);
+//   * charges a fixed dispatch cost per task sent — the single-scheduler
+//     bottleneck that caps launch throughput (Figs 6 and 9).
+//
+// Extensions beyond the paper's evaluated system, each behind a Config
+// switch and exercised by the ablation benches (paper §7 future work):
+// priority+backfill scheduling and network-aware worker grouping.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/job.hh"
+#include "core/worker.hh"
+#include "net/socket.hh"
+#include "os/machine.hh"
+#include "os/program.hh"
+#include "pmi/hydra.hh"
+#include "sim/sync.hh"
+#include "sim/task.hh"
+
+namespace jets::core {
+
+/// Queue discipline for picking the next job to place.
+enum class SchedPolicy {
+  kFifo,              // paper default: strict head-of-line
+  kPriorityBackfill,  // §7: priority order, skip jobs that don't fit yet
+};
+
+class Service {
+ public:
+  struct Config {
+    /// Central scheduler cost per task/proxy message dispatched. This
+    /// serializes in the dispatch loop and is the throughput cap of
+    /// Figs 6/9 (calibrated in bench/README notes).
+    sim::Duration dispatch_overhead = sim::microseconds(120);
+    /// Additional serialized cost per *MPI job* placement: forking and
+    /// wiring up the background mpiexec on the submit host (§5).
+    sim::Duration mpi_job_overhead = sim::milliseconds(5);
+    /// Forwarded to each job's MpiexecSpec (see pmi/hydra.hh).
+    sim::Duration proxy_setup_cost = sim::microseconds(500);
+    /// Total attempts per job before it is declared failed.
+    int max_attempts = 3;
+    SchedPolicy policy = SchedPolicy::kFifo;
+    /// §7: group MPI jobs onto workers with nearby node ids (torus
+    /// locality) instead of first-come-first-served.
+    bool network_aware_grouping = false;
+    /// Applied to jobs whose spec has no timeout; 0 = none.
+    sim::Duration default_job_timeout = 0;
+  };
+
+  /// Observation hooks for benchmark harnesses.
+  struct Hooks {
+    std::function<void(const JobRecord&)> on_job_start;
+    std::function<void(const JobRecord&)> on_job_finish;
+  };
+
+  Service(os::Machine& machine, const os::AppRegistry& apps, os::NodeId host,
+          Config config);
+  Service(os::Machine& machine, const os::AppRegistry& apps, os::NodeId host);
+  ~Service();
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Binds the listen port and starts the accept + dispatch actors.
+  void start();
+
+  net::Address address() const { return addr_; }
+  const Config& config() const { return config_; }
+  Hooks& hooks() { return hooks_; }
+
+  /// Enqueues a job; returns its id. Jobs may be submitted at any time,
+  /// including while earlier jobs run (dynamic workloads).
+  JobId submit(JobSpec spec);
+  std::vector<JobId> submit_batch(const std::vector<JobSpec>& specs);
+
+  /// Completes once every job submitted so far has finished or failed.
+  sim::Task<void> wait_all();
+
+  /// Completes when one specific job settles (Done or Failed). Used by the
+  /// Coasters bridge, whose Swift app calls block on individual jobs.
+  sim::Task<void> wait_job(JobId id);
+
+  /// Coasters data channel (§4.1): pushes `path` (which must exist on the
+  /// shared filesystem) to every *currently connected* worker's node-local
+  /// storage over the worker sockets, and completes when all have
+  /// acknowledged. Removes the need for a separate transfer mechanism;
+  /// workers that join later are unaffected.
+  sim::Task<void> stage_to_workers(const std::string& path);
+
+  const JobRecord& record(JobId id) const { return jobs_.at(id).rec; }
+  std::vector<JobRecord> records() const;
+
+  // Live counters (sampled by harnesses for Figs 10/13).
+  std::size_t connected_workers() const { return connected_; }
+  std::size_t ready_workers() const;
+  std::size_t running_jobs() const { return running_; }
+  std::size_t pending_jobs() const { return queue_.size(); }
+  std::size_t completed_jobs() const { return completed_; }
+  std::size_t failed_jobs() const { return failed_; }
+
+ private:
+  using WorkerId = std::uint64_t;
+
+  struct Worker {
+    WorkerId id = 0;
+    os::NodeId node = 0;
+    net::SocketPtr sock;
+    bool connected = false;
+    bool busy = false;
+    JobId job = 0;  // 0 = none
+    std::string task_id;  // task currently assigned to this worker
+  };
+
+  struct Job {
+    JobRecord rec;
+    /// Shared with the job-waiter actor: the waiter resumes *inside*
+    /// Mpiexec::wait() when the job settles, so the object must outlive
+    /// that resumption even though the service has already let go.
+    std::shared_ptr<pmi::Mpiexec> mpx;
+    std::vector<WorkerId> assigned;
+    std::string task_id;  // sequential jobs: the outstanding task id
+    sim::TimerHandle timeout;
+    bool deadline_passed = false;
+    std::unique_ptr<sim::Gate> settled;  // created lazily by wait_job
+  };
+
+  sim::Task<void> accept_loop();
+  sim::Task<void> worker_handler(net::SocketPtr sock);
+  sim::Task<void> dispatch_loop();
+  void kick() { kick_ch_->push(0); }
+
+  /// Picks the next dispatchable job per policy, or nullopt.
+  std::optional<JobId> choose_job();
+  /// Selects and claims `count` ready workers (FCFS or network-aware).
+  std::vector<WorkerId> claim_workers(std::size_t count);
+  sim::Task<void> place_job(JobId id);
+  void job_finished(JobId id, int status);
+  void deadline_expired(JobId id);
+  void check_all_done();
+
+  os::Machine* machine_;
+  const os::AppRegistry* apps_;
+  os::NodeId host_;
+  Config config_;
+  Hooks hooks_;
+
+  net::Address addr_{};
+  std::unique_ptr<net::Listener> listener_;
+  std::vector<sim::ActorId> actors_;  // accept, dispatch, handlers, waiters
+  std::unique_ptr<sim::Channel<int>> kick_ch_;
+  std::unique_ptr<sim::Gate> all_done_;
+  bool started_ = false;
+
+  JobId next_job_ = 1;
+  WorkerId next_worker_ = 1;
+  std::uint64_t next_task_ = 1;
+  std::map<JobId, Job> jobs_;
+  std::map<WorkerId, Worker> workers_;
+  std::map<std::string, JobId> task_to_job_;  // outstanding sequential tasks
+  std::deque<JobId> queue_;
+  std::deque<WorkerId> ready_;  // may contain stale (disconnected) entries
+  /// In-flight stage-ins: path -> (remaining acks, completion gate).
+  struct StageOp {
+    std::size_t remaining = 0;
+    std::unique_ptr<sim::Gate> done;
+  };
+  std::map<std::string, StageOp> staging_;
+  std::size_t connected_ = 0;
+  std::size_t running_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t failed_ = 0;
+};
+
+}  // namespace jets::core

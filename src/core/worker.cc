@@ -1,0 +1,148 @@
+#include "core/worker.hh"
+
+#include <map>
+#include <memory>
+#include <set>
+
+namespace jets::core {
+
+net::Message make_run_message(const std::string& task_id,
+                              const std::vector<std::string>& argv,
+                              const std::map<std::string, std::string>& vars) {
+  std::vector<std::string> args{task_id, std::to_string(argv.size())};
+  for (const auto& a : argv) args.push_back(a);
+  for (const auto& [k, v] : vars) args.push_back(k + "=" + v);
+  return net::Message(kMsgRun, std::move(args));
+}
+
+RunRequest parse_run_message(const net::Message& m) {
+  RunRequest r;
+  std::size_t i = 0;
+  r.task_id = m.args.at(i++);
+  const std::size_t nargv = std::stoul(m.args.at(i++));
+  for (std::size_t k = 0; k < nargv; ++k) r.argv.push_back(m.args.at(i++));
+  for (; i < m.args.size(); ++i) {
+    const std::string& kv = m.args[i];
+    const auto eq = kv.find('=');
+    if (eq != std::string::npos) r.vars[kv.substr(0, eq)] = kv.substr(eq + 1);
+  }
+  return r;
+}
+
+namespace {
+
+/// State shared between the worker's receive loop and its task wrappers.
+struct WorkerState {
+  net::SocketPtr sock;
+  /// Tasks started but not yet reported done (task id -> pid).
+  std::map<std::string, os::Machine::Pid> outstanding;
+};
+
+/// Wraps one task execution: resolves and runs the command, then reports
+/// done/ready — unless the task was already reaped by a "kill".
+sim::Task<void> task_wrapper(os::Machine* machine, const os::AppRegistry* apps,
+                             os::NodeId node, RunRequest req,
+                             std::shared_ptr<WorkerState> state) {
+  os::Env env;
+  env.machine = machine;
+  env.node = node;
+  env.argv = req.argv;
+  env.vars = std::move(req.vars);
+  int status = 0;
+  try {
+    const os::Program& program = apps->lookup(env.argv.at(0));
+    co_await program(env);
+  } catch (...) {
+    status = 1;
+  }
+  // If a "kill" raced ahead of completion, the kill handler already
+  // reported this task; avoid a duplicate done/ready pair.
+  if (state->outstanding.erase(req.task_id) == 0) co_return;
+  state->sock->send(net::Message(
+      kMsgDone, {req.task_id, std::to_string(status)}));
+  state->sock->send(net::Message(kMsgReady));
+}
+
+sim::Task<void> worker_main(const os::AppRegistry* apps, WorkerConfig config,
+                            os::Env& env) {
+  os::Machine& machine = *env.machine;
+  os::Node& node = machine.node(env.node);
+
+  // Stage files into node-local storage before taking work (§5 feature 2).
+  for (const std::string& file : config.stage_files) {
+    if (node.local_fs().exists(file)) continue;
+    auto size = machine.shared_fs().size(file);
+    if (!size) continue;  // tolerate missing staging entries
+    co_await machine.shared_fs().read(file);
+    co_await node.local_fs().write(file, *size);
+  }
+
+  auto state = std::make_shared<WorkerState>();
+  try {
+    state->sock = co_await machine.network().connect(env.node, config.service);
+  } catch (const net::ConnectError&) {
+    co_return;  // service is gone; pilot exits quietly
+  }
+  state->sock->send(net::Message(kMsgRegister, {std::to_string(env.node)}));
+  state->sock->send(net::Message(kMsgReady));
+
+  for (;;) {
+    auto m = co_await state->sock->recv();
+    if (!m) co_return;  // service closed / died: pilot exits
+    if (m->tag == kMsgRun) {
+      RunRequest req = parse_run_message(*m);
+      // The per-task wrapper cost plus binary load (node-local if staged).
+      os::ExecOptions opts;
+      opts.extra_startup = config.task_overhead;
+      const std::string& prog = req.argv.at(0);
+      if (node.local_fs().exists(prog) || machine.shared_fs().exists(prog)) {
+        opts.binary = prog;
+      }
+      const std::string task_id = req.task_id;
+      os::Machine::Pid pid = machine.exec(
+          env.node, "task:" + task_id,
+          task_wrapper(&machine, apps, env.node, std::move(req), state),
+          std::move(opts));
+      state->outstanding[task_id] = pid;
+      if (config.task_watchdog > 0) {
+        machine.engine().call_in(
+            config.task_watchdog,
+            [state, task_id, pid, machine_ptr = &machine] {
+              auto it = state->outstanding.find(task_id);
+              if (it == state->outstanding.end() || it->second != pid) return;
+              machine_ptr->kill(pid);
+              state->outstanding.erase(it);
+              if (state->sock) {
+                state->sock->send(net::Message(kMsgDone, {task_id, "124"}));
+                state->sock->send(net::Message(kMsgReady));
+              }
+            });
+      }
+    } else if (m->tag == kMsgKill) {
+      const std::string& task_id = m->args.at(0);
+      auto it = state->outstanding.find(task_id);
+      if (it != state->outstanding.end()) {
+        machine.kill(it->second);
+        state->outstanding.erase(it);
+        state->sock->send(net::Message(kMsgDone, {task_id, "137"}));
+        state->sock->send(net::Message(kMsgReady));
+      }
+    } else if (m->tag == kMsgStageIn) {
+      // Data channel (§4.1): the file's bytes arrived with this message
+      // (wire time already charged by the socket); persist them locally.
+      const std::string& path = m->args.at(0);
+      co_await node.local_fs().write(path, m->payload_bytes);
+      state->sock->send(net::Message(kMsgStaged, {path}));
+    }
+  }
+}
+
+}  // namespace
+
+os::Program worker_program(const os::AppRegistry& apps, WorkerConfig config) {
+  return [&apps, config](os::Env& env) -> sim::Task<void> {
+    co_await worker_main(&apps, config, env);
+  };
+}
+
+}  // namespace jets::core

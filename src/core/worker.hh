@@ -1,0 +1,79 @@
+// The JETS worker agent (pilot job).
+//
+// One worker occupies one scheduling slot on a compute node for the life of
+// an allocation. At startup it optionally stages files (the Hydra proxy
+// binary, the application image, reused input data) from the shared
+// filesystem into node-local storage (§5 feature 2 — "local storage ...
+// boosts startup performance"), then registers with the central JETS
+// service and executes whatever command lines it is handed: Hydra proxy
+// invocations for MPI jobs, or plain commands for sequential tasks.
+//
+// Workers are persistent — they amortize scheduler/launch costs across many
+// tasks, which is the core reason JETS beats per-job mpiexec/ssh launching
+// (Fig 7).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/socket.hh"
+#include "os/machine.hh"
+#include "os/program.hh"
+#include "sim/time.hh"
+
+namespace jets::core {
+
+struct WorkerConfig {
+  /// The JETS service to register with.
+  net::Address service{};
+  /// Files copied shared-fs -> node-local storage before registering
+  /// ("provided to the JETS start-up script as a simple list", §5).
+  std::vector<std::string> stage_files;
+  /// Per-task wrapper cost: the pilot script's bookkeeping, environment
+  /// setup, and fork of each task. Dominated by interpreter speed — large
+  /// on BG/P's 850 MHz cores, small on x86 (see bench calibration notes).
+  sim::Duration task_overhead = sim::milliseconds(5);
+  /// Worker-side watchdog: a task still running after this long is killed
+  /// and reported failed (exit 124), so a hung application cannot wedge
+  /// the pilot slot — the "hang" half of §5's fault-tolerance claim.
+  /// 0 disables.
+  sim::Duration task_watchdog = 0;
+};
+
+/// Protocol tags between worker and service (also used by Coasters):
+///   worker -> service:  "reg" [node]          once, after staging
+///                       "ready"                idle, requesting work
+///                       "done" [task, status]  task finished/killed
+///                       "staged" [path]        stage-in written locally
+///   service -> worker:  "run" [task, n, argv..., k=v...]
+///                       "kill" [task]
+///                       "stagein" [path] + payload bytes (data channel:
+///                        file contents pushed over this connection, §4.1)
+inline constexpr const char* kMsgRegister = "reg";
+inline constexpr const char* kMsgReady = "ready";
+inline constexpr const char* kMsgDone = "done";
+inline constexpr const char* kMsgRun = "run";
+inline constexpr const char* kMsgKill = "kill";
+inline constexpr const char* kMsgStageIn = "stagein";
+inline constexpr const char* kMsgStaged = "staged";
+
+/// Builds a "run" message for `task_id` executing `argv` with env `vars`.
+net::Message make_run_message(const std::string& task_id,
+                              const std::vector<std::string>& argv,
+                              const std::map<std::string, std::string>& vars);
+
+/// Decoded form of a "run" message.
+struct RunRequest {
+  std::string task_id;
+  std::vector<std::string> argv;
+  std::map<std::string, std::string> vars;
+};
+RunRequest parse_run_message(const net::Message& m);
+
+/// Builds the worker agent program. `apps` resolves task argv[0]s and must
+/// outlive all workers. Install into a registry or exec directly via
+/// run_command.
+os::Program worker_program(const os::AppRegistry& apps, WorkerConfig config);
+
+}  // namespace jets::core

@@ -1,0 +1,118 @@
+#include "md/analysis.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace jets::md {
+
+namespace {
+
+Vec3 minimum_image(Vec3 d, double box) {
+  d.x -= box * std::nearbyint(d.x / box);
+  d.y -= box * std::nearbyint(d.y / box);
+  d.z -= box * std::nearbyint(d.z / box);
+  return d;
+}
+
+}  // namespace
+
+std::vector<double> radial_distribution(const LjSystem& system, double r_max,
+                                        std::size_t bins) {
+  if (bins == 0 || r_max <= 0) {
+    throw std::invalid_argument("radial_distribution: bad bins/r_max");
+  }
+  const auto& pos = system.positions();
+  const double box = system.box();
+  const double dr = r_max / static_cast<double>(bins);
+  std::vector<std::size_t> counts(bins, 0);
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    for (std::size_t j = i + 1; j < pos.size(); ++j) {
+      const Vec3 d = minimum_image(pos[i] - pos[j], box);
+      const double r = std::sqrt(d.dot(d));
+      if (r >= r_max) continue;
+      ++counts[static_cast<std::size_t>(r / dr)];
+    }
+  }
+  // Normalize by the ideal-gas shell population.
+  const double n = static_cast<double>(pos.size());
+  const double density = n / (box * box * box);
+  std::vector<double> g(bins, 0.0);
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double r_lo = dr * static_cast<double>(b);
+    const double r_hi = r_lo + dr;
+    const double shell = 4.0 / 3.0 * std::numbers::pi *
+                         (r_hi * r_hi * r_hi - r_lo * r_lo * r_lo);
+    const double ideal_pairs = 0.5 * n * density * shell;
+    if (ideal_pairs > 0) {
+      g[b] = static_cast<double>(counts[b]) / ideal_pairs;
+    }
+  }
+  return g;
+}
+
+MsdTracker::MsdTracker(const LjSystem& system)
+    : origin_(system.positions()), previous_(system.positions()),
+      unwrapped_(system.positions()), box_(system.box()) {}
+
+void MsdTracker::sample(const LjSystem& system) {
+  const auto& pos = system.positions();
+  if (pos.size() != previous_.size()) {
+    throw std::invalid_argument("MsdTracker: particle count changed");
+  }
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    // Accumulate the minimum-image displacement since the last sample; as
+    // long as sampling is frequent relative to particle speed this
+    // unwraps the periodic trajectory correctly.
+    unwrapped_[i] += minimum_image(pos[i] - previous_[i], box_);
+    previous_[i] = pos[i];
+  }
+  ++samples_;
+}
+
+double MsdTracker::msd() const {
+  double acc = 0;
+  for (std::size_t i = 0; i < origin_.size(); ++i) {
+    const Vec3 d = unwrapped_[i] - origin_[i];
+    acc += d.dot(d);
+  }
+  return acc / static_cast<double>(origin_.size());
+}
+
+double MsdTracker::diffusion(double elapsed_time) const {
+  if (elapsed_time <= 0) return 0;
+  return msd() / (6.0 * elapsed_time);
+}
+
+std::vector<std::size_t> velocity_histogram(const LjSystem& system,
+                                            double v_max, std::size_t bins) {
+  if (bins == 0 || v_max <= 0) {
+    throw std::invalid_argument("velocity_histogram: bad bins/v_max");
+  }
+  std::vector<std::size_t> h(bins, 0);
+  const double dv = 2.0 * v_max / static_cast<double>(bins);
+  for (const Vec3& v : system.velocities()) {
+    for (double c : {v.x, v.y, v.z}) {
+      const double clamped = std::clamp(c, -v_max, v_max - 1e-12);
+      ++h[static_cast<std::size_t>((clamped + v_max) / dv)];
+    }
+  }
+  return h;
+}
+
+double velocity_variance(const LjSystem& system) {
+  double sum = 0, sum2 = 0;
+  std::size_t n = 0;
+  for (const Vec3& v : system.velocities()) {
+    for (double c : {v.x, v.y, v.z}) {
+      sum += c;
+      sum2 += c * c;
+      ++n;
+    }
+  }
+  const double mean = sum / static_cast<double>(n);
+  return sum2 / static_cast<double>(n) - mean * mean;
+}
+
+}  // namespace jets::md

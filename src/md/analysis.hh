@@ -1,0 +1,57 @@
+// Trajectory analysis for the MD kernel: the standard observables a REM
+// user computes from the segment outputs the workflow shuttles around —
+// radial distribution function (liquid structure), mean-squared
+// displacement (diffusion), and a velocity histogram (Maxwell-Boltzmann
+// check). All real computation; used by examples and tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "md/lj_system.hh"
+
+namespace jets::md {
+
+/// Radial distribution function g(r) from a configuration: the ratio of
+/// observed pair density at distance r to the ideal-gas expectation. A
+/// Lennard-Jones liquid shows the classic first peak near r = 1.1 sigma.
+std::vector<double> radial_distribution(const LjSystem& system, double r_max,
+                                        std::size_t bins);
+
+/// Tracks mean-squared displacement across checkpoints of the same system
+/// (positions must be *unwrapped* by the caller's sampling cadence being
+/// short enough that no particle crosses half the box between samples).
+class MsdTracker {
+ public:
+  explicit MsdTracker(const LjSystem& system);
+
+  /// Records the system's current positions; call between step() batches.
+  void sample(const LjSystem& system);
+
+  /// MSD of the latest sample relative to the initial one.
+  double msd() const;
+
+  /// Diffusion coefficient estimate from the Einstein relation,
+  /// D = MSD / (6 t), with t = samples x dt_per_sample.
+  double diffusion(double elapsed_time) const;
+
+  std::size_t samples() const { return samples_; }
+
+ private:
+  std::vector<Vec3> origin_;
+  std::vector<Vec3> previous_;   // last wrapped positions
+  std::vector<Vec3> unwrapped_;  // accumulated unwrapped positions
+  double box_;
+  std::size_t samples_ = 0;
+};
+
+/// Histogram of one velocity component across particles; for a thermal
+/// system it approaches a Gaussian with variance T (reduced units).
+std::vector<std::size_t> velocity_histogram(const LjSystem& system,
+                                            double v_max, std::size_t bins);
+
+/// Sample variance of all velocity components (= temperature in reduced
+/// units for an equilibrated system).
+double velocity_variance(const LjSystem& system);
+
+}  // namespace jets::md

@@ -1,0 +1,136 @@
+#include "md/lj_system.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace jets::md {
+
+LjSystem::LjSystem(const LjConfig& config)
+    : config_(config),
+      box_(std::cbrt(static_cast<double>(config.particles) / config.density)),
+      pos_(config.particles), vel_(config.particles), force_(config.particles),
+      rng_(config.seed) {
+  if (config.particles == 0) throw std::invalid_argument("empty LJ system");
+  if (config.cutoff * 2.0 > box_) {
+    throw std::invalid_argument("LJ cutoff exceeds half the box; raise N");
+  }
+  init_lattice();
+  init_velocities(config.temperature);
+  compute_forces();
+}
+
+void LjSystem::init_lattice() {
+  // Simple cubic lattice with small random jitter to break symmetry.
+  const auto per_side = static_cast<std::size_t>(
+      std::ceil(std::cbrt(static_cast<double>(pos_.size()))));
+  const double a = box_ / static_cast<double>(per_side);
+  std::size_t i = 0;
+  for (std::size_t x = 0; x < per_side && i < pos_.size(); ++x) {
+    for (std::size_t y = 0; y < per_side && i < pos_.size(); ++y) {
+      for (std::size_t z = 0; z < per_side && i < pos_.size(); ++z, ++i) {
+        pos_[i] = Vec3{(static_cast<double>(x) + 0.5) * a,
+                       (static_cast<double>(y) + 0.5) * a,
+                       (static_cast<double>(z) + 0.5) * a};
+        pos_[i] += Vec3{rng_.uniform(-0.01, 0.01) * a,
+                        rng_.uniform(-0.01, 0.01) * a,
+                        rng_.uniform(-0.01, 0.01) * a};
+      }
+    }
+  }
+}
+
+void LjSystem::init_velocities(double temperature) {
+  Vec3 total{};
+  const double s = std::sqrt(temperature);
+  for (Vec3& v : vel_) {
+    v = Vec3{rng_.normal(0, s), rng_.normal(0, s), rng_.normal(0, s)};
+    total += v;
+  }
+  // Remove center-of-mass drift, then rescale to the exact temperature.
+  const double inv_n = 1.0 / static_cast<double>(vel_.size());
+  for (Vec3& v : vel_) v -= inv_n * total;
+  rescale_to(temperature);
+}
+
+Vec3 LjSystem::minimum_image(Vec3 d) const {
+  d.x -= box_ * std::nearbyint(d.x / box_);
+  d.y -= box_ * std::nearbyint(d.y / box_);
+  d.z -= box_ * std::nearbyint(d.z / box_);
+  return d;
+}
+
+void LjSystem::compute_forces() {
+  const double rc2 = config_.cutoff * config_.cutoff;
+  // Shift the potential so it is continuous at the cutoff.
+  const double inv_rc6 = 1.0 / (rc2 * rc2 * rc2);
+  const double shift = 4.0 * inv_rc6 * (inv_rc6 - 1.0);
+  potential_ = 0;
+  for (Vec3& f : force_) f = Vec3{};
+  const std::size_t n = pos_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      Vec3 d = minimum_image(pos_[i] - pos_[j]);
+      const double r2 = d.dot(d);
+      if (r2 >= rc2) continue;
+      const double inv_r2 = 1.0 / r2;
+      const double inv_r6 = inv_r2 * inv_r2 * inv_r2;
+      // F = 24 eps (2 r^-12 - r^-6) / r^2 * d
+      const double fmag = 24.0 * inv_r2 * inv_r6 * (2.0 * inv_r6 - 1.0);
+      force_[i] += fmag * d;
+      force_[j] -= fmag * d;
+      potential_ += 4.0 * inv_r6 * (inv_r6 - 1.0) - shift;
+    }
+  }
+}
+
+void LjSystem::step(std::size_t n) {
+  const double dt = config_.dt;
+  const double half = 0.5 * dt;
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t i = 0; i < pos_.size(); ++i) {
+      vel_[i] += half * force_[i];
+      pos_[i] += dt * vel_[i];
+      // Wrap into the box.
+      pos_[i].x -= box_ * std::floor(pos_[i].x / box_);
+      pos_[i].y -= box_ * std::floor(pos_[i].y / box_);
+      pos_[i].z -= box_ * std::floor(pos_[i].z / box_);
+    }
+    compute_forces();
+    for (std::size_t i = 0; i < pos_.size(); ++i) {
+      vel_[i] += half * force_[i];
+    }
+  }
+}
+
+void LjSystem::rescale_to(double temperature) {
+  double k = 0;
+  for (const Vec3& v : vel_) k += 0.5 * v.dot(v);
+  const double t_now =
+      2.0 * k / (3.0 * static_cast<double>(vel_.size()));
+  if (t_now <= 0) return;
+  const double s = std::sqrt(temperature / t_now);
+  for (Vec3& v : vel_) v = s * v;
+}
+
+Observables LjSystem::observe() const {
+  Observables o;
+  for (const Vec3& v : vel_) o.kinetic += 0.5 * v.dot(v);
+  o.potential = potential_;
+  o.temperature = 2.0 * o.kinetic / (3.0 * static_cast<double>(vel_.size()));
+  return o;
+}
+
+LjSystem::Checkpoint LjSystem::checkpoint() const {
+  return Checkpoint{pos_, vel_, observe().temperature};
+}
+
+void LjSystem::restore(const Checkpoint& c) {
+  if (c.positions.size() != pos_.size()) {
+    throw std::invalid_argument("checkpoint size mismatch");
+  }
+  pos_ = c.positions;
+  vel_ = c.velocities;
+  compute_forces();
+}
+
+}  // namespace jets::md

@@ -1,0 +1,83 @@
+#include "md/replica_exchange.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace jets::md {
+
+std::vector<double> temperature_ladder(double t_min, double t_max,
+                                       std::size_t replicas) {
+  if (replicas == 0 || t_min <= 0 || t_max < t_min) {
+    throw std::invalid_argument("bad temperature ladder parameters");
+  }
+  std::vector<double> ladder(replicas);
+  if (replicas == 1) {
+    ladder[0] = t_min;
+    return ladder;
+  }
+  const double ratio = std::pow(t_max / t_min,
+                                1.0 / static_cast<double>(replicas - 1));
+  double t = t_min;
+  for (std::size_t i = 0; i < replicas; ++i) {
+    ladder[i] = t;
+    t *= ratio;
+  }
+  return ladder;
+}
+
+double exchange_probability(double ei, double ej, double ti, double tj) {
+  const double delta = (1.0 / ti - 1.0 / tj) * (ei - ej);
+  return delta >= 0 ? 1.0 : std::exp(delta);
+}
+
+bool exchange_accept(double ei, double ej, double ti, double tj, sim::Rng& rng) {
+  return rng.uniform() < exchange_probability(ei, ej, ti, tj);
+}
+
+ReplicaExchange::ReplicaExchange(const Config& config)
+    : config_(config),
+      ladder_(temperature_ladder(config.t_min, config.t_max, config.replicas)),
+      rng_(config.seed) {
+  systems_.reserve(config.replicas);
+  slot_.resize(config.replicas);
+  for (std::size_t i = 0; i < config.replicas; ++i) {
+    LjConfig c = config.system;
+    c.temperature = ladder_[i];
+    c.seed = config.seed * 1000003 + i;
+    systems_.emplace_back(c);
+    slot_[i] = i;
+  }
+}
+
+std::size_t ReplicaExchange::run_round() {
+  for (std::size_t i = 0; i < systems_.size(); ++i) {
+    systems_[i].step(config_.steps_per_segment);
+  }
+  // Alternating-parity neighbour sweep (Fig 17's %% 2 logic).
+  const std::size_t start = rounds_ % 2;
+  std::size_t swept = 0;
+  for (std::size_t i = start; i + 1 < systems_.size(); i += 2) {
+    const double ei = systems_[i].observe().potential;
+    const double ej = systems_[i + 1].observe().potential;
+    ++attempted_;
+    if (exchange_accept(ei, ej, ladder_[i], ladder_[i + 1], rng_)) {
+      // Exchange configurations (swap checkpoints), keep temperatures with
+      // the slots, and rescale velocities to the new temperature — the
+      // file-shuffling the paper's exchange script performs.
+      auto ci = systems_[i].checkpoint();
+      auto cj = systems_[i + 1].checkpoint();
+      systems_[i].restore(cj);
+      systems_[i + 1].restore(ci);
+      systems_[i].rescale_to(ladder_[i]);
+      systems_[i + 1].rescale_to(ladder_[i + 1]);
+      std::swap(slot_[i], slot_[i + 1]);
+      ++accepted_;
+      ++swept;
+    }
+  }
+  ++rounds_;
+  return swept;
+}
+
+}  // namespace jets::md

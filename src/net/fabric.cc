@@ -1,0 +1,24 @@
+#include "net/fabric.hh"
+
+#include <algorithm>
+
+namespace jets::net {
+
+namespace {
+/// Distance along one ring dimension of length n.
+std::uint32_t ring_distance(std::uint32_t a, std::uint32_t b, std::uint32_t n) {
+  const std::uint32_t d = a > b ? a - b : b - a;
+  return std::min(d, n - d);
+}
+}  // namespace
+
+std::uint32_t TorusShape::hops(NodeId a, NodeId b) const {
+  if (a == b) return 0;
+  if (a >= size() || b >= size()) return service_hops;
+  const std::uint32_t ax = a % x, ay = (a / x) % y, az = a / (x * y);
+  const std::uint32_t bx = b % x, by = (b / x) % y, bz = b / (x * y);
+  return ring_distance(ax, bx, x) + ring_distance(ay, by, y) +
+         ring_distance(az, bz, z);
+}
+
+}  // namespace jets::net

@@ -1,0 +1,135 @@
+// Interconnect fabric models.
+//
+// A Fabric answers one question: how long does a message of B bytes take
+// from node `a` to node `b`? The answer is latency + B/bandwidth, where both
+// terms depend on the machine. Three concrete models reproduce the paper's
+// environments:
+//
+//  * EthernetFabric   — commodity cluster GigE (Breadboard, Eureka).
+//  * TorusTcpFabric   — ZeptoOS IP-over-torus on BG/P: TCP/IP stack overhead
+//                       plus per-hop transit on the 3-D torus. This is the
+//                       transport JETS-launched MPI jobs use (Fig 8,
+//                       "MPICH/sockets").
+//  * TorusNativeFabric — the vendor DCMF path on BG/P: microsecond-scale
+//                       latency, near-line-rate bandwidth (Fig 8, "native").
+//
+// Constants are calibrated to the magnitudes reported in the paper's Fig 8
+// discussion: sockets-over-ZeptoOS shows *much* higher small-message latency
+// and slightly lower large-message bandwidth than native messaging.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "sim/time.hh"
+
+namespace jets::net {
+
+using NodeId = std::uint32_t;
+
+/// Point-to-point message timing model.
+class Fabric {
+ public:
+  virtual ~Fabric() = default;
+
+  /// Time for `bytes` payload from `from` to `to` (one way, uncontended).
+  sim::Duration transfer_time(NodeId from, NodeId to, std::size_t bytes) const {
+    if (from == to) return loopback_time(bytes);
+    return latency(from, to) + serialization_time(bytes);
+  }
+
+  /// Propagation + protocol-stack latency between two distinct nodes.
+  virtual sim::Duration latency(NodeId from, NodeId to) const = 0;
+
+  /// Payload serialization time at the fabric's point-to-point bandwidth.
+  virtual sim::Duration serialization_time(std::size_t bytes) const = 0;
+
+  /// Same-node (loopback) messaging time.
+  virtual sim::Duration loopback_time(std::size_t bytes) const {
+    return sim::microseconds(5) + serialization_time(bytes) / 8;
+  }
+};
+
+/// Flat-topology commodity Ethernet: fixed latency, shared-nothing links.
+class EthernetFabric final : public Fabric {
+ public:
+  /// Defaults: 60 us one-way latency, 1 Gb/s (= 125 MB/s) per link.
+  explicit EthernetFabric(sim::Duration latency = sim::microseconds(60),
+                          double bytes_per_second = 125e6)
+      : latency_(latency), bps_(bytes_per_second) {}
+
+  sim::Duration latency(NodeId, NodeId) const override { return latency_; }
+  sim::Duration serialization_time(std::size_t bytes) const override {
+    return sim::from_seconds(static_cast<double>(bytes) / bps_);
+  }
+
+ private:
+  sim::Duration latency_;
+  double bps_;
+};
+
+/// Geometry of a 3-D torus (BG/P midplane/rack shapes).
+struct TorusShape {
+  std::uint32_t x = 8, y = 8, z = 16;  // 1,024 nodes: one BG/P rack
+  /// Node ids outside the torus (login/service nodes reached through the
+  /// I/O-node network) are charged this fixed hop distance.
+  std::uint32_t service_hops = 16;
+
+  std::uint32_t size() const { return x * y * z; }
+
+  /// Minimal hop count between two node ids laid out in x-major order.
+  std::uint32_t hops(NodeId a, NodeId b) const;
+};
+
+/// ZeptoOS IP-over-torus: TCP stack cost dominates, plus a small per-hop
+/// term. Reproduces the high small-message latency of Fig 8's
+/// "MPICH/sockets" line.
+class TorusTcpFabric final : public Fabric {
+ public:
+  explicit TorusTcpFabric(TorusShape shape = {},
+                          sim::Duration stack_overhead = sim::microseconds(260),
+                          sim::Duration per_hop = sim::microseconds(2),
+                          double bytes_per_second = 220e6)
+      : shape_(shape), stack_(stack_overhead), per_hop_(per_hop),
+        bps_(bytes_per_second) {}
+
+  sim::Duration latency(NodeId from, NodeId to) const override {
+    return stack_ + per_hop_ * shape_.hops(from, to);
+  }
+  sim::Duration serialization_time(std::size_t bytes) const override {
+    return sim::from_seconds(static_cast<double>(bytes) / bps_);
+  }
+  const TorusShape& shape() const { return shape_; }
+
+ private:
+  TorusShape shape_;
+  sim::Duration stack_;
+  sim::Duration per_hop_;
+  double bps_;
+};
+
+/// Vendor messaging (DCMF) on the BG/P torus: ~3 us latency, 375 MB/s/link.
+class TorusNativeFabric final : public Fabric {
+ public:
+  explicit TorusNativeFabric(TorusShape shape = {},
+                             sim::Duration base = sim::microseconds(3),
+                             sim::Duration per_hop = sim::nanoseconds(100),
+                             double bytes_per_second = 375e6)
+      : shape_(shape), base_(base), per_hop_(per_hop), bps_(bytes_per_second) {}
+
+  sim::Duration latency(NodeId from, NodeId to) const override {
+    return base_ + per_hop_ * shape_.hops(from, to);
+  }
+  sim::Duration serialization_time(std::size_t bytes) const override {
+    return sim::from_seconds(static_cast<double>(bytes) / bps_);
+  }
+
+ private:
+  TorusShape shape_;
+  sim::Duration base_;
+  sim::Duration per_hop_;
+  double bps_;
+};
+
+}  // namespace jets::net

@@ -1,0 +1,43 @@
+// Wire message framing for middleware protocols.
+//
+// All JETS-internal protocols (worker registration, task dispatch, PMI,
+// proxy control) exchange small tagged messages; bulk transfers (file
+// staging, application stdout) are represented by `payload_bytes` rather
+// than materialized data, so the simulator charges wire time without
+// allocating gigabytes.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace jets::net {
+
+struct Message {
+  /// Protocol verb, e.g. "register", "task", "pmi.put", "exit".
+  std::string tag;
+  /// Protocol fields (command lines, KVS pairs, status codes...).
+  std::vector<std::string> args;
+  /// Size of any bulk payload this message stands for (bytes).
+  std::size_t payload_bytes = 0;
+
+  Message() = default;
+  explicit Message(std::string tag) : tag(std::move(tag)) {}
+  Message(std::string tag, std::vector<std::string> args,
+          std::size_t payload_bytes = 0)
+      : tag(std::move(tag)), args(std::move(args)), payload_bytes(payload_bytes) {}
+
+  /// Bytes this message occupies on the wire (framing + fields + payload).
+  std::size_t wire_size() const {
+    constexpr std::size_t kHeader = 16;  // length/type framing
+    std::size_t fields = tag.size();
+    for (const std::string& a : args) fields += a.size() + 1;
+    return kHeader + fields + payload_bytes;
+  }
+
+  const std::string& arg(std::size_t i) const { return args.at(i); }
+};
+
+}  // namespace jets::net

@@ -1,0 +1,137 @@
+#include "net/socket.hh"
+
+#include <utility>
+
+namespace jets::net {
+
+// --- Socket -----------------------------------------------------------------
+
+Socket::Socket(Network& net, std::shared_ptr<detail::Connection> conn, bool is_a)
+    : net_(&net), conn_(std::move(conn)), is_a_(is_a) {}
+
+detail::Pipe& Socket::out() { return is_a_ ? conn_->a_to_b : conn_->b_to_a; }
+detail::Pipe& Socket::in() { return is_a_ ? conn_->b_to_a : conn_->a_to_b; }
+const detail::Pipe& Socket::in() const {
+  return is_a_ ? conn_->b_to_a : conn_->a_to_b;
+}
+
+NodeId Socket::local_node() const { return is_a_ ? conn_->node_a : conn_->node_b; }
+NodeId Socket::remote_node() const { return is_a_ ? conn_->node_b : conn_->node_a; }
+
+sim::Time Socket::queue_on_wire(const Message& m) {
+  // Sender-side wire clock: serialization occupies the link back-to-back,
+  // so a burst of sends is delivered FIFO at link bandwidth; each message
+  // additionally ages by the one-way fabric latency in flight.
+  sim::Engine& engine = net_->engine();
+  const Fabric& fabric = net_->fabric();
+  detail::Pipe& pipe = out();
+  const sim::Time start = std::max(engine.now(), pipe.wire_free_at);
+  const sim::Time sent = start + fabric.serialization_time(m.wire_size());
+  pipe.wire_free_at = sent;
+  return sent + fabric.latency(local_node(), remote_node());
+}
+
+void Socket::send(Message m) {
+  if (!open_ || out().closed) return;  // writes on a closed socket are dropped
+  const sim::Time deliver_at = queue_on_wire(m);
+  auto conn = conn_;
+  const bool to_b = is_a_;
+  net_->engine().call_at(deliver_at, [conn, to_b, m = std::move(m)]() mutable {
+    detail::Pipe& p = to_b ? conn->a_to_b : conn->b_to_a;
+    // If the reader already closed its end, the bytes vanish (RST-like).
+    if (!p.inbox.closed()) p.inbox.push(std::move(m));
+  });
+}
+
+sim::Task<void> Socket::send_sync(Message m) {
+  if (!open_ || out().closed) co_return;
+  const sim::Time sent_at = queue_on_wire(m) -
+                            net_->fabric().latency(local_node(), remote_node());
+  const sim::Time deliver_at =
+      sent_at + net_->fabric().latency(local_node(), remote_node());
+  auto conn = conn_;
+  const bool to_b = is_a_;
+  net_->engine().call_at(deliver_at, [conn, to_b, m = std::move(m)]() mutable {
+    detail::Pipe& p = to_b ? conn->a_to_b : conn->b_to_a;
+    if (!p.inbox.closed()) p.inbox.push(std::move(m));
+  });
+  const sim::Duration wait = sent_at - net_->engine().now();
+  if (wait > 0) co_await sim::delay(wait);
+}
+
+sim::Task<std::optional<Message>> Socket::recv() {
+  if (!open_) co_return std::nullopt;
+  co_return co_await in().inbox.recv();
+}
+
+sim::Task<std::optional<Message>> Socket::recv_for(sim::Duration timeout) {
+  if (!open_) co_return std::nullopt;
+  co_return co_await in().inbox.recv_for(timeout);
+}
+
+bool Socket::eof() const { return in().inbox.closed() && in().inbox.empty(); }
+
+void Socket::close() {
+  if (!open_) return;
+  open_ = false;
+  detail::Pipe& outgoing = out();
+  outgoing.closed = true;
+  // Signal EOF to the peer after anything already on the wire arrives.
+  auto conn = conn_;
+  const bool to_b = is_a_;
+  const sim::Time eof_at =
+      std::max(net_->engine().now(),
+               outgoing.wire_free_at +
+                   net_->fabric().latency(local_node(), remote_node()));
+  net_->engine().call_at(eof_at, [conn, to_b] {
+    detail::Pipe& p = to_b ? conn->a_to_b : conn->b_to_a;
+    p.inbox.close();
+  });
+}
+
+// --- Listener ---------------------------------------------------------------
+
+Listener::Listener(Network& net, Address addr)
+    : net_(&net), addr_(addr), pending_(net.engine()) {}
+
+Listener::~Listener() { close(); }
+
+sim::Task<SocketPtr> Listener::accept() {
+  auto s = co_await pending_.recv();
+  co_return s ? *s : nullptr;
+}
+
+void Listener::close() {
+  if (!open_) return;
+  open_ = false;
+  pending_.close();
+  net_->unbind(addr_);
+}
+
+// --- Network ----------------------------------------------------------------
+
+std::unique_ptr<Listener> Network::listen(Address addr) {
+  if (listeners_.contains(addr)) {
+    throw std::invalid_argument("port already bound: node " +
+                                std::to_string(addr.node) + ":" +
+                                std::to_string(addr.port));
+  }
+  auto l = std::make_unique<Listener>(*this, addr);
+  listeners_[addr] = l.get();
+  return l;
+}
+
+sim::Task<SocketPtr> Network::connect(NodeId from, Address to) {
+  // SYN + SYN/ACK: one round trip before the connection is established.
+  const sim::Duration rtt = fabric_->latency(from, to.node) * 2;
+  co_await sim::delay(rtt);
+  auto it = listeners_.find(to);
+  if (it == listeners_.end() || !it->second->open_) throw ConnectError(to);
+  auto conn = std::make_shared<detail::Connection>(*engine_, from, to.node);
+  auto client = std::make_shared<Socket>(*this, conn, /*is_a=*/true);
+  auto server = std::make_shared<Socket>(*this, conn, /*is_a=*/false);
+  it->second->pending_.push(std::move(server));
+  co_return client;
+}
+
+}  // namespace jets::net

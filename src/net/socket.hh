@@ -1,0 +1,174 @@
+// TCP-like stream sockets over a simulated fabric.
+//
+// Semantics mirror what the JETS middleware relies on from real TCP:
+//  * connection setup costs one round trip and fails if nobody listens;
+//  * per-direction FIFO delivery with bandwidth-limited serialization;
+//  * peer death or close() is *visible*: pending and future receives
+//    complete with std::nullopt (EOF). The paper leans on this ("the
+//    reliability characteristics offered by TCP-based APIs") for fault
+//    tolerance — worker-kill tests exercise exactly this path.
+//
+// Sockets are shared_ptr-owned; a killed process's coroutine frames drop
+// their references during teardown and the destructor closes the
+// connection, so the remote side's recv() wakes with EOF just as a real
+// peer reset would.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "net/fabric.hh"
+#include "net/message.hh"
+#include "sim/engine.hh"
+#include "sim/sync.hh"
+#include "sim/task.hh"
+
+namespace jets::net {
+
+using Port = std::uint16_t;
+
+struct Address {
+  NodeId node = 0;
+  Port port = 0;
+  auto operator<=>(const Address&) const = default;
+};
+
+class Socket;
+using SocketPtr = std::shared_ptr<Socket>;
+
+/// Thrown by connect() when no listener is bound to the target address.
+class ConnectError : public std::runtime_error {
+ public:
+  explicit ConnectError(Address to)
+      : std::runtime_error("connection refused: node " +
+                           std::to_string(to.node) + ":" +
+                           std::to_string(to.port)) {}
+};
+
+namespace detail {
+
+/// One direction of a connection: a delivery channel plus the sender-side
+/// wire clock that enforces FIFO, bandwidth-limited delivery.
+struct Pipe {
+  explicit Pipe(sim::Engine& engine) : inbox(engine) {}
+  sim::Channel<Message> inbox;
+  sim::Time wire_free_at = 0;  // sender clock: when the wire next idles
+  bool closed = false;
+};
+
+struct Connection {
+  Connection(sim::Engine& engine, NodeId a, NodeId b)
+      : a_to_b(engine), b_to_a(engine), node_a(a), node_b(b) {}
+  Pipe a_to_b;
+  Pipe b_to_a;
+  NodeId node_a, node_b;
+};
+
+}  // namespace detail
+
+class Network;
+
+/// One endpoint of an established connection.
+class Socket {
+ public:
+  /// Use Network::connect / Listener::accept; this is internal.
+  Socket(Network& net, std::shared_ptr<detail::Connection> conn, bool is_a);
+  ~Socket() { close(); }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  NodeId local_node() const;
+  NodeId remote_node() const;
+
+  /// Queues a message for delivery; returns immediately (buffered send).
+  /// Messages on one socket arrive in send order after wire time.
+  void send(Message m);
+
+  /// Like send(), but completes only when the payload has fully left this
+  /// endpoint (used for bulk transfers whose sender must hold resources).
+  sim::Task<void> send_sync(Message m);
+
+  /// Receives the next message; std::nullopt = EOF (peer closed or died).
+  sim::Task<std::optional<Message>> recv();
+
+  /// recv with a timeout; std::nullopt = timeout *or* EOF. Callers that
+  /// must distinguish check eof() afterwards.
+  sim::Task<std::optional<Message>> recv_for(sim::Duration timeout);
+
+  /// True once the peer has closed and the inbox has drained.
+  bool eof() const;
+
+  /// Half-closes our sending direction and refuses further receives.
+  void close();
+
+ private:
+  detail::Pipe& out();
+  detail::Pipe& in();
+  const detail::Pipe& in() const;
+  sim::Time queue_on_wire(const Message& m);
+
+  Network* net_;
+  std::shared_ptr<detail::Connection> conn_;
+  bool is_a_;
+  bool open_ = true;
+};
+
+/// A bound, listening port. accept() yields established server-side sockets.
+class Listener {
+ public:
+  Listener(Network& net, Address addr);
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  Address address() const { return addr_; }
+
+  /// Waits for the next inbound connection; nullopt if the listener closed.
+  sim::Task<SocketPtr> accept();
+
+  void close();
+
+ private:
+  friend class Network;
+  Network* net_;
+  Address addr_;
+  sim::Channel<SocketPtr> pending_;
+  bool open_ = true;
+};
+
+/// The machine-wide socket namespace: binds listeners, establishes
+/// connections, and owns the fabric timing model.
+class Network {
+ public:
+  Network(sim::Engine& engine, std::shared_ptr<const Fabric> fabric)
+      : engine_(&engine), fabric_(std::move(fabric)) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  sim::Engine& engine() { return *engine_; }
+  const Fabric& fabric() const { return *fabric_; }
+
+  /// Binds a listener; throws std::invalid_argument if the port is taken.
+  std::unique_ptr<Listener> listen(Address addr);
+
+  /// Establishes a connection from `from` to the listener at `to`.
+  /// Takes one fabric round trip; throws ConnectError if nothing listens.
+  sim::Task<SocketPtr> connect(NodeId from, Address to);
+
+  /// Number of live bound listeners (diagnostics).
+  std::size_t listener_count() const { return listeners_.size(); }
+
+ private:
+  friend class Listener;
+  void unbind(Address addr) { listeners_.erase(addr); }
+
+  sim::Engine* engine_;
+  std::shared_ptr<const Fabric> fabric_;
+  std::map<Address, Listener*> listeners_;
+};
+
+}  // namespace jets::net

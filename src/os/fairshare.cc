@@ -1,0 +1,48 @@
+#include "os/fairshare.hh"
+
+#include <cmath>
+
+namespace jets::os {
+
+void FairShareServer::advance_clock() {
+  const sim::Time now = engine_->now();
+  if (now > clock_updated_at_ && !transfers_.empty()) {
+    const double dt = sim::to_seconds(now - clock_updated_at_);
+    virtual_clock_ += dt * bps_ / static_cast<double>(transfers_.size());
+  }
+  clock_updated_at_ = now;
+}
+
+void FairShareServer::schedule_next_completion() {
+  pending_timer_.cancel();
+  if (transfers_.empty()) return;
+  const double next_deadline = transfers_.begin()->first;
+  const double remaining = std::max(0.0, next_deadline - virtual_clock_);
+  const double real_seconds =
+      remaining * static_cast<double>(transfers_.size()) / bps_;
+  pending_timer_ = engine_->call_in(sim::from_seconds(real_seconds),
+                                    [this] { complete_due_transfers(); });
+}
+
+void FairShareServer::complete_due_transfers() {
+  advance_clock();
+  // Numerical slack: anything within half a nanosecond of service is done.
+  const double eps = bps_ * 0.5e-9;
+  while (!transfers_.empty() &&
+         transfers_.begin()->first <= virtual_clock_ + eps) {
+    transfers_.begin()->second.done->open();
+    transfers_.erase(transfers_.begin());
+  }
+  schedule_next_completion();
+}
+
+sim::Task<void> FairShareServer::transfer(std::uint64_t bytes) {
+  advance_clock();
+  auto done = std::make_shared<sim::Gate>(*engine_);
+  Transfer t{virtual_clock_ + static_cast<double>(bytes), done};
+  transfers_.emplace(t.virtual_deadline, t);
+  schedule_next_completion();
+  co_await done->wait();
+}
+
+}  // namespace jets::os

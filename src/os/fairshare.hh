@@ -1,0 +1,62 @@
+// Processor-sharing bandwidth server.
+//
+// Models a contended resource (GPFS server bandwidth, an I/O link) where k
+// concurrent transfers each progress at rate B/k. This is the egalitarian
+// processor-sharing queue; it is simulated exactly using a virtual-service
+// clock V(t) with dV/dt = B / n(t): a transfer of s bytes admitted when the
+// clock reads V0 completes when V(t) = V0 + s.
+//
+// The GPFS contention this models is what drives two of the paper's
+// observations: utilization loss from "simultaneous small-file accesses"
+// in single-process REM runs (§6.2.2), and the benefit of staging binaries
+// to node-local storage (§6.1.4).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "sim/engine.hh"
+#include "sim/sync.hh"
+#include "sim/task.hh"
+#include "sim/time.hh"
+
+namespace jets::os {
+
+class FairShareServer {
+ public:
+  /// `bytes_per_second`: aggregate capacity shared by all active transfers.
+  FairShareServer(sim::Engine& engine, double bytes_per_second)
+      : engine_(&engine), bps_(bytes_per_second) {}
+  FairShareServer(const FairShareServer&) = delete;
+  FairShareServer& operator=(const FairShareServer&) = delete;
+
+  /// Transfers `bytes` through the shared server; completes after this
+  /// transfer's fair share of bandwidth has moved all bytes.
+  sim::Task<void> transfer(std::uint64_t bytes);
+
+  std::size_t active_transfers() const { return transfers_.size(); }
+  double bytes_per_second() const { return bps_; }
+
+ private:
+  struct Transfer {
+    double virtual_deadline;  // V value at which this transfer completes
+    std::shared_ptr<sim::Gate> done;
+  };
+
+  /// Advances V(t) to `now` and (re)schedules the next completion timer.
+  void advance_clock();
+  void schedule_next_completion();
+  void complete_due_transfers();
+
+  sim::Engine* engine_;
+  double bps_;
+  double virtual_clock_ = 0.0;  // total service delivered per active stream
+  sim::Time clock_updated_at_ = 0;
+  std::uint64_t next_id_ = 0;
+  // Ordered by virtual deadline so the next completion is begin().
+  std::multimap<double, Transfer> transfers_;
+  sim::TimerHandle pending_timer_;
+};
+
+}  // namespace jets::os

@@ -1,0 +1,42 @@
+#include "os/filesystem.hh"
+
+namespace jets::os {
+
+sim::Task<void> LocalFs::read(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) throw FileError("local file not found: " + path);
+  const std::uint64_t bytes = it->second;
+  co_await sim::delay(latency_ +
+                      sim::from_seconds(static_cast<double>(bytes) / bps_));
+}
+
+sim::Task<void> LocalFs::write(const std::string& path, std::uint64_t bytes) {
+  co_await sim::delay(latency_ +
+                      sim::from_seconds(static_cast<double>(bytes) / bps_));
+  files_[path] = bytes;
+}
+
+sim::Task<void> SharedFs::read(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) throw FileError("shared file not found: " + path);
+  const std::uint64_t bytes = it->second;
+  ClientGuard guard(this);
+  co_await sim::delay(loaded_latency());
+  co_await server_->transfer(bytes);
+}
+
+sim::Task<void> SharedFs::write(const std::string& path, std::uint64_t bytes) {
+  ClientGuard guard(this);
+  co_await sim::delay(loaded_latency());
+  co_await server_->transfer(bytes);
+  files_[path] = bytes;
+}
+
+sim::Task<void> SharedFs::io(std::uint64_t bytes, unsigned ops) {
+  if (ops == 0) co_return;
+  ClientGuard guard(this);
+  co_await sim::delay(loaded_latency() * ops);
+  co_await server_->transfer(bytes);
+}
+
+}  // namespace jets::os

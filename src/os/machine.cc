@@ -1,0 +1,220 @@
+#include "os/machine.hh"
+
+#include <stdexcept>
+
+namespace jets::os {
+
+Machine::Machine(sim::Engine& engine, MachineSpec spec)
+    : engine_(&engine), spec_(std::move(spec)),
+      network_(engine, spec_.fabric),
+      shared_fs_(engine, spec_.shared_fs_latency, spec_.shared_fs_bps) {
+  if (!spec_.fabric) throw std::invalid_argument("MachineSpec needs a fabric");
+  nodes_.reserve(spec_.compute_nodes + 1);
+  for (std::size_t i = 0; i <= spec_.compute_nodes; ++i) {
+    // The last entry is the login/service node; same NodeSpec, which is fine
+    // because service processes are modelled by explicit handler costs.
+    nodes_.push_back(std::make_unique<Node>(
+        engine, static_cast<NodeId>(i), spec_.node));
+  }
+}
+
+Machine::~Machine() { engine_->shutdown(); }
+
+// --- Presets -----------------------------------------------------------------
+//
+// Surveyor (BG/P, §6.1.1/6.1.4): 4 cores/node @ 850 MHz. Process startup
+// under ZeptoOS is slow: fork/exec of a staged binary plus the JETS wrapper
+// scripting comes to several hundred ms; we charge 80 ms fork/exec here and
+// let the JETS worker add its script overhead (see core/worker). The
+// IP-over-torus TCP stack gives the high small-message latency seen in
+// Fig 8. Shared storage is PVFS/GPFS over the I/O nodes: a few ms per
+// metadata op, a few GB/s aggregate.
+MachineSpec Machine::surveyor(std::size_t nodes) {
+  MachineSpec s;
+  s.name = "surveyor-bgp";
+  s.compute_nodes = nodes;
+  s.node.cores = 4;
+  s.node.fork_exec = sim::milliseconds(80);
+  s.node.local_fs_latency = sim::microseconds(50);
+  s.node.local_fs_bps = 800e6;  // ramdisk on an 850 MHz PPC450
+  // One rack is 8x8x16; smaller allocations still use the same geometry.
+  s.fabric = std::make_shared<net::TorusTcpFabric>(net::TorusShape{8, 8, 16});
+  s.shared_fs_latency = sim::milliseconds(6);
+  s.shared_fs_bps = 3.0e9;
+  return s;
+}
+
+// Breadboard (x86 test cluster, §6.1.2): fast commodity nodes, GigE.
+MachineSpec Machine::breadboard(std::size_t nodes) {
+  MachineSpec s;
+  s.name = "breadboard-x86";
+  s.compute_nodes = nodes;
+  s.node.cores = 8;
+  s.node.fork_exec = sim::milliseconds(4);
+  s.node.local_fs_latency = sim::microseconds(15);
+  s.node.local_fs_bps = 2.5e9;
+  s.fabric = std::make_shared<net::EthernetFabric>();
+  s.shared_fs_latency = sim::milliseconds(3);
+  s.shared_fs_bps = 1.5e9;
+  return s;
+}
+
+// Eureka (§6.2.1): 100 nodes, 2x quad-core Xeon E5405 @ 2 GHz, 32 GB,
+// GPFS. Same order of magnitude as Breadboard but with GPFS contention
+// mattering for the Swift workloads.
+MachineSpec Machine::eureka(std::size_t nodes) {
+  MachineSpec s;
+  s.name = "eureka-x86";
+  s.compute_nodes = nodes;
+  s.node.cores = 8;
+  s.node.fork_exec = sim::milliseconds(5);
+  s.node.local_fs_latency = sim::microseconds(15);
+  s.node.local_fs_bps = 2.5e9;
+  s.fabric = std::make_shared<net::EthernetFabric>(sim::microseconds(70), 125e6);
+  s.shared_fs_latency = sim::milliseconds(5);
+  s.shared_fs_bps = 2.0e9;
+  return s;
+}
+
+// --- Process management --------------------------------------------------------
+
+sim::Task<void> Machine::load_binary(NodeId node, const std::string& binary) {
+  Node& n = this->node(node);
+  if (n.binary_resident(binary)) {
+    co_await sim::delay(n.spec().local_fs_latency);  // cache hit
+  } else if (n.local_fs().exists(binary)) {
+    co_await n.local_fs().read(binary);
+    n.mark_binary_resident(binary);
+  } else {
+    // Shared-filesystem images are re-read on every exec (no coherent
+    // client cache on the compute nodes).
+    co_await shared_fs_.read(binary);
+  }
+}
+
+sim::Task<void> Machine::run_process(NodeId node, sim::Task<void> body,
+                                     ExecOptions opts) {
+  const NodeSpec& spec = this->node(node).spec();
+  if (opts.charge_fork) co_await sim::delay(spec.fork_exec);
+  if (opts.extra_startup > 0) co_await sim::delay(opts.extra_startup);
+  if (!opts.binary.empty()) co_await load_binary(node, opts.binary);
+  co_await std::move(body);
+}
+
+Machine::Pid Machine::exec(NodeId node, std::string name, sim::Task<void> body,
+                           ExecOptions opts) {
+  const Pid pid = next_pid_++;
+  sim::ActorId actor = engine_->spawn(
+      std::move(name), run_process(node, std::move(body), std::move(opts)));
+  processes_[pid] = actor;
+  pid_by_actor_[actor] = pid;
+  // fork semantics: if exec() was called from inside another simulated
+  // process, the new process joins its tree (kill takes the whole subtree).
+  if (sim::ActorId caller = engine_->running_actor(); caller != 0) {
+    auto parent = pid_by_actor_.find(caller);
+    if (parent != pid_by_actor_.end()) {
+      children_[parent->second].push_back(pid);
+    }
+  }
+  // Reap the table entry when the process ends (whatever the cause).
+  engine_->spawn("reaper", [](Machine* m, Pid pid, sim::ActorId actor) -> sim::Task<void> {
+    co_await m->engine_->join(actor);
+    m->processes_.erase(pid);
+    m->pid_by_actor_.erase(actor);
+    m->children_.erase(pid);
+  }(this, pid, actor));
+  return pid;
+}
+
+bool Machine::kill(Pid pid) {
+  auto it = processes_.find(pid);
+  if (it == processes_.end()) return false;
+  // Take down the subtree first (ZeptoOS-like: the pilot script's children
+  // die with it). Copy the child list: kills mutate the map.
+  if (auto kids = children_.find(pid); kids != children_.end()) {
+    const std::vector<Pid> copy = kids->second;
+    for (Pid child : copy) kill(child);
+  }
+  it = processes_.find(pid);
+  if (it == processes_.end()) return true;  // reaped during child kills
+  const sim::ActorId actor = it->second;
+  processes_.erase(it);
+  pid_by_actor_.erase(actor);
+  children_.erase(pid);
+  return engine_->kill(actor);
+}
+
+bool Machine::alive(Pid pid) const {
+  auto it = processes_.find(pid);
+  return it != processes_.end() && engine_->is_live(it->second);
+}
+
+std::size_t Machine::process_count() const { return processes_.size(); }
+
+sim::Task<void> Machine::wait(Pid pid) {
+  auto it = processes_.find(pid);
+  if (it == processes_.end()) co_return;
+  co_await engine_->join(it->second);
+}
+
+// --- BatchScheduler --------------------------------------------------------------
+
+sim::Task<BatchScheduler::Allocation> BatchScheduler::submit(
+    std::size_t nodes, sim::Duration walltime) {
+  if (nodes < policy_.min_nodes) {
+    throw std::invalid_argument("allocation below site minimum node count");
+  }
+  if (nodes > machine_->compute_node_count()) {
+    throw std::invalid_argument("allocation exceeds machine size");
+  }
+  if (busy_.empty()) busy_.resize(machine_->compute_node_count(), false);
+
+  // Queue wait grows with request size (crude model of backfill pressure).
+  const sim::Duration mean_wait =
+      policy_.base_queue_wait +
+      policy_.wait_per_node * static_cast<sim::Duration>(nodes);
+  co_await sim::delay(rng_.exponential_duration(mean_wait));
+  co_await sim::delay(policy_.boot_time);
+
+  Allocation alloc;
+  alloc.nodes.reserve(nodes);
+  for (std::size_t i = 0; i < busy_.size() && alloc.nodes.size() < nodes; ++i) {
+    if (!busy_[i]) {
+      busy_[i] = true;
+      alloc.nodes.push_back(static_cast<NodeId>(i));
+    }
+  }
+  if (alloc.nodes.size() < nodes) {
+    for (NodeId id : alloc.nodes) busy_[id] = false;
+    throw std::runtime_error("machine out of free nodes");
+  }
+  alloc.started_at = machine_->engine().now();
+  alloc.expires_at = alloc.started_at + walltime;
+  co_return alloc;
+}
+
+void BatchScheduler::release(const Allocation& alloc) {
+  for (NodeId id : alloc.nodes) busy_.at(id) = false;
+}
+
+void BatchScheduler::enforce_walltime(const Allocation& alloc,
+                                      std::vector<Machine::Pid> pilots) {
+  Machine* machine = machine_;
+  const Allocation copy = alloc;
+  machine->engine().call_at(alloc.expires_at,
+                            [this, machine, copy, pilots = std::move(pilots)] {
+                              for (Machine::Pid pid : pilots) {
+                                machine->kill(pid);
+                              }
+                              release(copy);
+                            });
+}
+
+std::size_t BatchScheduler::free_nodes() const {
+  if (busy_.empty()) return machine_->compute_node_count();
+  std::size_t n = 0;
+  for (bool b : busy_) n += b ? 0 : 1;
+  return n;
+}
+
+}  // namespace jets::os

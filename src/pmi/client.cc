@@ -1,0 +1,47 @@
+#include "pmi/client.hh"
+
+#include <stdexcept>
+
+namespace jets::pmi {
+
+sim::Task<std::unique_ptr<PmiClient>> PmiClient::connect(os::Machine& machine,
+                                                         os::NodeId node,
+                                                         net::Address control,
+                                                         int rank, int size) {
+  net::SocketPtr sock = co_await machine.network().connect(node, control);
+  sock->send(net::Message("pmi.init", {std::to_string(rank)}));
+  co_return std::unique_ptr<PmiClient>(new PmiClient(std::move(sock), rank, size));
+}
+
+void PmiClient::put(const std::string& key, const std::string& value) {
+  sock_->send(net::Message("pmi.put", {key, value}));
+}
+
+sim::Task<std::string> PmiClient::get(const std::string& key) {
+  sock_->send(net::Message("pmi.get", {key}));
+  for (;;) {
+    auto reply = co_await sock_->recv();
+    if (!reply) throw std::runtime_error("PMI: lost connection to mpiexec");
+    if (reply->tag == "pmi.value" && reply->args.at(0) == key) {
+      co_return reply->args.at(1);
+    }
+    // Interleaved barrier_out or stale replies are not possible with the
+    // strictly sequential client usage, but be defensive:
+    if (reply->tag == "pmi.barrier_out") continue;
+  }
+}
+
+sim::Task<void> PmiClient::barrier() {
+  sock_->send(net::Message("pmi.barrier_in", {std::to_string(rank_)}));
+  for (;;) {
+    auto reply = co_await sock_->recv();
+    if (!reply) throw std::runtime_error("PMI: lost connection to mpiexec");
+    if (reply->tag == "pmi.barrier_out") co_return;
+  }
+}
+
+void PmiClient::finalize() {
+  sock_->send(net::Message("pmi.finalize", {std::to_string(rank_)}));
+}
+
+}  // namespace jets::pmi

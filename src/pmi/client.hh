@@ -1,0 +1,59 @@
+// Rank-side PMI client.
+//
+// Each MPI process talks PMI to the mpiexec control service: it announces
+// itself, publishes/fetches KVS entries, and participates in PMI barriers.
+// (In MPICH's Hydra the proxy multiplexes these messages for its local
+// ranks; here each rank opens its own control connection — an explicitly
+// documented simplification that preserves message counts and latency
+// characteristics, since proxy and rank share a node.)
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/socket.hh"
+#include "os/machine.hh"
+#include "sim/task.hh"
+
+namespace jets::pmi {
+
+class PmiClient {
+ public:
+  /// Connects to the mpiexec control service and registers rank `rank`.
+  static sim::Task<std::unique_ptr<PmiClient>> connect(os::Machine& machine,
+                                                       os::NodeId node,
+                                                       net::Address control,
+                                                       int rank, int size);
+
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+
+  /// Publishes a key into the job's KVS (asynchronous, FIFO-ordered).
+  void put(const std::string& key, const std::string& value);
+
+  /// Fetches a key, blocking until some rank publishes it.
+  sim::Task<std::string> get(const std::string& key);
+
+  /// PMI barrier across all ranks of the job.
+  sim::Task<void> barrier();
+
+  /// Reports clean completion of this rank to the process manager.
+  void finalize();
+
+  /// True if the control connection has failed (mpiexec died).
+  bool disconnected() const { return sock_ == nullptr || sock_->eof(); }
+
+  /// The control connection itself; ranks also route their stdout over it
+  /// (app -> proxy -> mpiexec, §6.1.6).
+  const net::SocketPtr& socket() const { return sock_; }
+
+ private:
+  PmiClient(net::SocketPtr sock, int rank, int size)
+      : sock_(std::move(sock)), rank_(rank), size_(size) {}
+
+  net::SocketPtr sock_;
+  int rank_;
+  int size_;
+};
+
+}  // namespace jets::pmi

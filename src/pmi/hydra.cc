@@ -1,0 +1,262 @@
+#include "pmi/hydra.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "pmi/client.hh"
+
+namespace jets::pmi {
+
+namespace {
+
+/// Shared between a proxy and its local rank bodies.
+struct ProxyShared {
+  int exit_code = 0;
+};
+
+sim::Task<void> rank_body(os::Machine* machine, const os::AppRegistry* apps,
+                          os::NodeId node, std::vector<std::string> argv,
+                          std::map<std::string, std::string> vars,
+                          net::Address control, int rank, int size,
+                          std::shared_ptr<ProxyShared> shared) {
+  os::Env env;
+  env.machine = machine;
+  env.node = node;
+  env.argv = std::move(argv);
+  env.vars = std::move(vars);
+  env.vars["PMI_RANK"] = std::to_string(rank);
+  env.vars["PMI_SIZE"] = std::to_string(size);
+  try {
+    auto client = co_await PmiClient::connect(*machine, node, control, rank, size);
+    env.pmi = client.get();
+    env.stdout_sink = client->socket();
+    const os::Program& program = apps->lookup(env.argv.at(0));
+    co_await program(env);
+    client->finalize();
+  } catch (...) {
+    shared->exit_code = 1;
+  }
+}
+
+}  // namespace
+
+// --- Proxy program -----------------------------------------------------------
+
+os::Program Mpiexec::proxy_program(const os::AppRegistry& apps) {
+  return [&apps](os::Env& env) -> sim::Task<void> {
+    // argv: hydra_pmi_proxy --control-addr <node> <port> --proxy-id <k>
+    net::Address control{};
+    int proxy_id = -1;
+    for (std::size_t i = 1; i + 1 < env.argv.size(); ++i) {
+      if (env.argv[i] == "--control-addr" && i + 2 < env.argv.size()) {
+        control.node = static_cast<os::NodeId>(std::stoul(env.argv[i + 1]));
+        control.port = static_cast<net::Port>(std::stoul(env.argv[i + 2]));
+      } else if (env.argv[i] == "--proxy-id") {
+        proxy_id = std::stoi(env.argv[i + 1]);
+      }
+    }
+    if (proxy_id < 0) throw std::invalid_argument("hydra_pmi_proxy: bad argv");
+
+    net::SocketPtr sock =
+        co_await env.machine->network().connect(env.node, control);
+    sock->send(net::Message("proxy.hello", {std::to_string(proxy_id)}));
+    auto reply = co_await sock->recv();
+    if (!reply || reply->tag != "proxy.exec") co_return;  // mpiexec gone
+
+    // Decode: nprocs ppn base user_binary nargv argv... k=v...
+    std::size_t i = 0;
+    const int nprocs = std::stoi(reply->args.at(i++));
+    const int ppn = std::stoi(reply->args.at(i++));
+    const int base = std::stoi(reply->args.at(i++));
+    const std::string user_binary = reply->args.at(i++);
+    const int nargv = std::stoi(reply->args.at(i++));
+    std::vector<std::string> uargv;
+    for (int k = 0; k < nargv; ++k) uargv.push_back(reply->args.at(i++));
+    std::map<std::string, std::string> uvars;
+    for (; i < reply->args.size(); ++i) {
+      const std::string& kv = reply->args[i];
+      const auto eq = kv.find('=');
+      if (eq != std::string::npos) uvars[kv.substr(0, eq)] = kv.substr(eq + 1);
+    }
+
+    const int local = std::min(ppn, nprocs - base);
+    auto shared = std::make_shared<ProxyShared>();
+    std::vector<os::Machine::Pid> pids;
+    pids.reserve(static_cast<std::size_t>(std::max(local, 0)));
+    for (int r = 0; r < local; ++r) {
+      os::ExecOptions opts;
+      opts.binary = user_binary;
+      pids.push_back(env.machine->exec(
+          env.node, uargv.at(0) + ":" + std::to_string(base + r),
+          rank_body(env.machine, &apps, env.node, uargv, uvars, control,
+                    base + r, nprocs, shared),
+          std::move(opts)));
+    }
+    for (auto pid : pids) co_await env.machine->wait(pid);
+    sock->send(net::Message(
+        "proxy.exit",
+        {std::to_string(proxy_id), std::to_string(shared->exit_code)}));
+    // Destructor closes the socket; mpiexec sees exit then EOF.
+  };
+}
+
+// --- Mpiexec -------------------------------------------------------------------
+
+Mpiexec::Mpiexec(os::Machine& machine, const os::AppRegistry& apps,
+                 os::NodeId host, MpiexecSpec spec)
+    : machine_(&machine), apps_(&apps), host_(host), spec_(std::move(spec)),
+      kvs_(machine.engine()) {
+  if (spec_.nprocs < 1 || spec_.ranks_per_proxy < 1) {
+    throw std::invalid_argument("mpiexec: nprocs and ppn must be >= 1");
+  }
+  if (spec_.user_argv.empty()) {
+    throw std::invalid_argument("mpiexec: empty user command");
+  }
+  if (spec_.user_binary.empty()) spec_.user_binary = spec_.user_argv.front();
+  rank_socks_.resize(static_cast<std::size_t>(spec_.nprocs));
+  done_gate_ = std::make_unique<sim::Gate>(machine.engine());
+  setup_sem_ = std::make_unique<sim::Semaphore>(machine.engine(), 1);
+}
+
+Mpiexec::~Mpiexec() {
+  if (control_actor_ != 0) machine_->engine().kill(control_actor_);
+  for (sim::ActorId id : handler_actors_) machine_->engine().kill(id);
+}
+
+int Mpiexec::proxy_count() const {
+  return (spec_.nprocs + spec_.ranks_per_proxy - 1) / spec_.ranks_per_proxy;
+}
+
+void Mpiexec::start() {
+  if (started_) return;
+  started_ = true;
+  control_addr_ = net::Address{host_, machine_->allocate_port()};
+  listener_ = machine_->network().listen(control_addr_);
+  control_actor_ = machine_->engine().spawn("mpiexec", control_service());
+}
+
+std::vector<std::vector<std::string>> Mpiexec::proxy_commands() const {
+  if (!started_) throw std::logic_error("mpiexec: start() before proxy_commands()");
+  std::vector<std::vector<std::string>> cmds;
+  cmds.reserve(static_cast<std::size_t>(proxy_count()));
+  for (int k = 0; k < proxy_count(); ++k) {
+    cmds.push_back({kProxyBinary, "--control-addr",
+                    std::to_string(control_addr_.node),
+                    std::to_string(control_addr_.port), "--proxy-id",
+                    std::to_string(k)});
+  }
+  return cmds;
+}
+
+void Mpiexec::launch_via_ssh(const std::vector<os::NodeId>& hosts,
+                             sim::Duration ssh_cost) {
+  if (!started_) throw std::logic_error("mpiexec: start() before launch");
+  if (hosts.size() < static_cast<std::size_t>(proxy_count())) {
+    throw std::invalid_argument("mpiexec: not enough hosts for proxies");
+  }
+  auto cmds = proxy_commands();
+  machine_->engine().spawn(
+      "mpiexec-ssh-launcher",
+      [](os::Machine* m, const os::AppRegistry* apps,
+         std::vector<os::NodeId> hosts, sim::Duration cost,
+         std::vector<std::vector<std::string>> cmds) -> sim::Task<void> {
+        for (std::size_t k = 0; k < cmds.size(); ++k) {
+          // ssh connection setup + auth is paid per host, sequentially —
+          // the bottleneck JETS's persistent workers eliminate.
+          co_await sim::delay(cost);
+          os::ExecOptions opts;
+          opts.binary = kProxyBinary;
+          os::run_command(*m, *apps, hosts[k], cmds[k], {}, std::move(opts));
+        }
+      }(machine_, apps_, hosts, ssh_cost, std::move(cmds)));
+}
+
+sim::Task<int> Mpiexec::wait() {
+  co_await done_gate_->wait();
+  co_return failures_ == 0 ? 0 : 1;
+}
+
+void Mpiexec::note_proxy_done(int code) {
+  ++proxies_done_;
+  if (code != 0) ++failures_;
+  if (proxies_done_ >= proxy_count()) done_gate_->open();
+}
+
+void Mpiexec::abort(const std::string& why) {
+  if (!done()) fail(why);
+}
+
+void Mpiexec::fail(const std::string& why) {
+  ++failures_;
+  failure_reason_ = why;
+  done_gate_->open();  // surface the failure immediately; JETS cleans up
+}
+
+sim::Task<void> Mpiexec::control_service() {
+  for (;;) {
+    net::SocketPtr sock = co_await listener_->accept();
+    if (!sock) co_return;  // listener closed
+    handler_actors_.push_back(machine_->engine().spawn(
+        "mpiexec-conn", handle_connection(std::move(sock))));
+  }
+}
+
+sim::Task<void> Mpiexec::handle_connection(net::SocketPtr sock) {
+  bool is_proxy = false;
+  bool proxy_reported = false;
+  bool rank_finalized = false;
+  int rank = -1;
+  for (;;) {
+    auto m = co_await sock->recv();
+    if (!m) break;  // EOF
+    if (m->tag == "proxy.hello") {
+      is_proxy = true;
+      // Bootstrap handling is serialized within one mpiexec and charges
+      // the per-proxy setup cost (see MpiexecSpec::proxy_setup_cost).
+      {
+        sim::Permit permit = co_await sim::Permit::acquire(*setup_sem_);
+        co_await sim::delay(spec_.proxy_setup_cost);
+      }
+      const int proxy_id = std::stoi(m->args.at(0));
+      const int base = proxy_id * spec_.ranks_per_proxy;
+      std::vector<std::string> args{
+          std::to_string(spec_.nprocs), std::to_string(spec_.ranks_per_proxy),
+          std::to_string(base), spec_.user_binary,
+          std::to_string(spec_.user_argv.size())};
+      for (const auto& a : spec_.user_argv) args.push_back(a);
+      for (const auto& [k, v] : spec_.user_vars) args.push_back(k + "=" + v);
+      sock->send(net::Message("proxy.exec", std::move(args)));
+    } else if (m->tag == "proxy.exit") {
+      proxy_reported = true;
+      note_proxy_done(std::stoi(m->args.at(1)));
+    } else if (m->tag == "pmi.init") {
+      rank = std::stoi(m->args.at(0));
+      rank_socks_.at(static_cast<std::size_t>(rank)) = sock;
+    } else if (m->tag == "pmi.put") {
+      kvs_.put(m->args.at(0), m->args.at(1));
+    } else if (m->tag == "pmi.get") {
+      std::string value = co_await kvs_.get(m->args.at(0));
+      sock->send(net::Message("pmi.value", {m->args.at(0), std::move(value)}));
+    } else if (m->tag == "pmi.barrier_in") {
+      if (++barrier_waiting_ >= spec_.nprocs) {
+        barrier_waiting_ = 0;
+        for (auto& rs : rank_socks_) {
+          if (rs) rs->send(net::Message("pmi.barrier_out"));
+        }
+      }
+    } else if (m->tag == "pmi.finalize") {
+      rank_finalized = true;
+    } else if (m->tag == "stdout") {
+      stdout_bytes_ += m->payload_bytes;
+    }
+  }
+  // Connection gone: decide whether that was orderly.
+  if (is_proxy && !proxy_reported) {
+    fail("proxy disconnected before exit report");
+  } else if (rank >= 0 && !rank_finalized && !done()) {
+    fail("rank " + std::to_string(rank) + " disconnected before finalize");
+  }
+  if (rank >= 0) rank_socks_.at(static_cast<std::size_t>(rank)).reset();
+}
+
+}  // namespace jets::pmi

@@ -1,0 +1,194 @@
+#include "sim/engine.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace jets::sim {
+
+void engine_actor_finished(Engine& engine, std::uint64_t actor_id,
+                           std::exception_ptr error) {
+  engine.finished_.emplace_back(actor_id, std::move(error));
+}
+
+Engine::~Engine() { shutdown(); }
+
+void Engine::shutdown() {
+  in_shutdown_ = true;
+  // Destroy live actors in a defined order (ascending id) so coroutine-frame
+  // destructors (which may close sockets etc.) run deterministically.
+  std::vector<ActorId> ids;
+  ids.reserve(actors_.size());
+  for (const auto& [id, _] : actors_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (ActorId id : ids) {
+    auto it = actors_.find(id);
+    if (it == actors_.end()) continue;
+    *it->second.alive = false;
+    it->second.alive.reset();
+    if (it->second.root) it->second.root.destroy();
+    actors_.erase(it);
+  }
+  queue_ = {};
+  finished_.clear();
+  deferred_kills_.clear();
+  in_shutdown_ = false;
+}
+
+ActorId Engine::spawn(std::string name, Task<void> body) {
+  if (!body.valid()) throw std::invalid_argument("spawn: empty task");
+  const ActorId id = next_actor_id_++;
+  Actor actor;
+  actor.name = std::move(name);
+  actor.ctx = std::make_unique<ActorContext>();
+  actor.ctx->engine = this;
+  actor.ctx->id = id;
+  actor.ctx->name = actor.name;
+  actor.ctx->alive = std::make_shared<bool>(true);
+  actor.alive = actor.ctx->alive;
+  actor.root = body.release();
+  actor.root.promise().set_context(actor.ctx.get());
+  schedule(now_, Resumption::of(actor.root, actor.ctx.get()));
+  if (observer_) observer_->on_spawn(now_, id, actor.name);
+  actors_.emplace(id, std::move(actor));
+  return id;
+}
+
+bool Engine::kill(ActorId id) {
+  auto it = actors_.find(id);
+  if (it == actors_.end()) return false;
+  if (running_actor_ == id) {
+    // Cannot destroy the frame we are currently executing inside; mark dead
+    // and reap after the current dispatch unwinds.
+    *it->second.alive = false;
+    deferred_kills_.push_back(id);
+    return true;
+  }
+  destroy_actor(it, nullptr);
+  return true;
+}
+
+const std::string* Engine::actor_name(ActorId id) const {
+  auto it = actors_.find(id);
+  return it == actors_.end() ? nullptr : &it->second.name;
+}
+
+void Engine::add_joiner(ActorId id, Resumption r) {
+  actors_.at(id).joiners.push_back(std::move(r));
+}
+
+void Engine::schedule(Time t, Resumption r) {
+  assert(t >= now_);
+  Event ev;
+  ev.t = t;
+  ev.seq = seq_++;
+  ev.resume = std::move(r);
+  queue_.push(std::move(ev));
+}
+
+TimerHandle Engine::call_at(Time t, std::function<void()> fn) {
+  assert(t >= now_);
+  Event ev;
+  ev.t = t;
+  ev.seq = seq_++;
+  ev.fn = std::move(fn);
+  ev.cancelled = std::make_shared<bool>(false);
+  TimerHandle handle(ev.cancelled);
+  queue_.push(std::move(ev));
+  return handle;
+}
+
+void Engine::dispatch(Event& ev) {
+  if (ev.resume.handle) {
+    auto owner = ev.resume.token.lock();  // keep the actor alive across resume
+    if (!owner) return;                   // actor killed since scheduling
+    ++events_executed_;
+    running_actor_ = ev.resume.ctx->id;
+    ev.resume.handle.resume();
+    running_actor_ = 0;
+  } else if (ev.fn) {
+    if (*ev.cancelled) return;
+    ++events_executed_;
+    ev.fn();
+  }
+  reap_finished_and_killed();
+}
+
+void Engine::reap_finished_and_killed() {
+  while (!finished_.empty() || !deferred_kills_.empty()) {
+    if (!finished_.empty()) {
+      auto [id, error] = std::move(finished_.back());
+      finished_.pop_back();
+      auto it = actors_.find(id);
+      if (it != actors_.end()) destroy_actor(it, std::move(error));
+    } else {
+      ActorId id = deferred_kills_.back();
+      deferred_kills_.pop_back();
+      auto it = actors_.find(id);
+      if (it != actors_.end()) destroy_actor(it, nullptr);
+    }
+  }
+}
+
+void Engine::destroy_actor(std::unordered_map<ActorId, Actor>::iterator it,
+                           std::exception_ptr error) {
+  Actor actor = std::move(it->second);
+  const ActorId id = it->first;
+  actors_.erase(it);
+  if (observer_ && !in_shutdown_) {
+    // Finished actors arrive via the finished_ list; everything else
+    // reaching here directly is a kill.
+    if (actor.root && actor.root.done()) {
+      observer_->on_finish(now_, id, actor.name);
+    } else {
+      observer_->on_kill(now_, id, actor.name);
+    }
+  }
+  *actor.alive = false;
+  if (error) unhandled_errors_.push_back(error);
+  for (Resumption& r : actor.joiners) {
+    schedule(now_, std::move(r));
+  }
+  actor.alive.reset();  // expire all pending event tokens for this actor
+  if (actor.root) actor.root.destroy();
+}
+
+Time Engine::run() { return run_until(kTimeInfinity); }
+
+Time Engine::run_until(Time limit) {
+  while (!queue_.empty()) {
+    // Dead events (killed actor, cancelled timer) are dropped without
+    // advancing the clock: a run's end time reflects work that actually
+    // happened, not ghosts of cancelled timeouts.
+    {
+      const Event& top = queue_.top();
+      const bool dead = top.resume.handle ? top.resume.token.expired()
+                                          : (!top.fn || *top.cancelled);
+      if (dead) {
+        queue_.pop();
+        continue;
+      }
+    }
+    if (queue_.top().t > limit) {
+      now_ = limit;
+      check_failures();
+      return now_;
+    }
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.t;
+    dispatch(ev);
+  }
+  check_failures();
+  return now_;
+}
+
+void Engine::check_failures() {
+  if (unhandled_errors_.empty()) return;
+  std::exception_ptr first = unhandled_errors_.front();
+  unhandled_errors_.clear();
+  std::rethrow_exception(first);
+}
+
+}  // namespace jets::sim

@@ -1,0 +1,245 @@
+// Discrete-event simulation engine.
+//
+// The engine owns a priority queue of timestamped events. Two event kinds
+// exist: coroutine resumptions (the workhorse — every `co_await delay(...)`,
+// channel receive, or socket operation schedules one) and plain callbacks
+// (used by timers, fault injectors, and periodic samplers). Events carry a
+// weak cancellation token; killing an actor expires its token so stale
+// resumptions are skipped rather than resuming a destroyed frame.
+//
+// Single-threaded by design: simulated concurrency comes from interleaving
+// coroutines in simulated time, and equal-time events run in FIFO insertion
+// order, so every run is bit-reproducible.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/task.hh"
+#include "sim/time.hh"
+
+namespace jets::sim {
+
+/// Identifier of a spawned actor (a root coroutine plus its context).
+using ActorId = std::uint64_t;
+
+/// Observer for actor lifecycle events (see sim/trace.hh for a recorder).
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+  virtual void on_spawn(Time at, ActorId id, const std::string& name) = 0;
+  virtual void on_finish(Time at, ActorId id, const std::string& name) = 0;
+  virtual void on_kill(Time at, ActorId id, const std::string& name) = 0;
+};
+
+/// Handle to a scheduled callback; cancel() prevents a pending fire.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+  explicit TimerHandle(std::shared_ptr<bool> cancelled)
+      : cancelled_(std::move(cancelled)) {}
+  void cancel() {
+    if (cancelled_) *cancelled_ = true;
+  }
+  bool valid() const noexcept { return cancelled_ != nullptr; }
+
+ private:
+  std::shared_ptr<bool> cancelled_;
+};
+
+/// A suspended coroutine waiting to be resumed, together with the actor it
+/// belongs to. `ctx` is only dereferenced after `token.lock()` succeeds, so
+/// it can never dangle: the token expires before the context is destroyed.
+struct Resumption {
+  std::coroutine_handle<> handle;
+  ActorContext* ctx = nullptr;
+  std::weak_ptr<void> token;
+
+  static Resumption of(std::coroutine_handle<> h, ActorContext* ctx) {
+    return Resumption{h, ctx, std::weak_ptr<void>(ctx->alive)};
+  }
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  /// Current simulated time.
+  Time now() const noexcept { return now_; }
+
+  // --- Actor management -----------------------------------------------
+
+  /// Starts `body` as a new independent actor. The first resumption is
+  /// queued at the current time; the returned id can be joined or killed.
+  ActorId spawn(std::string name, Task<void> body);
+
+  /// Destroys a live actor's coroutine chain and cancels its pending
+  /// events. Safe to call from within any actor (including itself; the
+  /// teardown is deferred until the current resume step unwinds).
+  /// Returns false if the actor is unknown or already finished.
+  bool kill(ActorId id);
+
+  bool is_live(ActorId id) const { return actors_.contains(id); }
+  std::size_t live_actor_count() const { return actors_.size(); }
+  const std::string* actor_name(ActorId id) const;
+
+  /// The actor currently being resumed (0 outside a resume step). Lets
+  /// higher layers attribute side effects (e.g. process parentage) to the
+  /// acting simulated process.
+  ActorId running_actor() const noexcept { return running_actor_; }
+
+  /// Awaitable that completes when the given actor finishes or is killed.
+  /// An uncaught exception in any actor is reported by check_failures()
+  /// (called from run()), not through join.
+  auto join(ActorId id);
+
+  // --- Event scheduling (used by awaitables and timers) ----------------
+
+  /// Queues a coroutine resumption at absolute time `t` (>= now). The
+  /// resumption is dropped if its actor has been killed by then.
+  void schedule(Time t, Resumption r);
+
+  /// Registers a resumption to fire when actor `id` terminates. Exposed for
+  /// the join awaitable; requires the actor to be live.
+  void add_joiner(ActorId id, Resumption r);
+
+  /// Queues a plain callback at absolute time `t`.
+  TimerHandle call_at(Time t, std::function<void()> fn);
+  TimerHandle call_in(Duration d, std::function<void()> fn) {
+    return call_at(now_ + d, std::move(fn));
+  }
+
+  // --- Running ----------------------------------------------------------
+
+  /// Runs until the event queue is empty. Returns the final time.
+  Time run();
+
+  /// Runs until the queue is empty or simulated time would exceed `limit`;
+  /// the clock is left at min(limit, time of last executed event).
+  Time run_until(Time limit);
+
+  /// Total events executed (skipped-cancelled events are not counted).
+  std::uint64_t events_executed() const noexcept { return events_executed_; }
+
+  /// If any actor terminated with an exception nobody joined, rethrows the
+  /// first such exception. run()/run_until() call this automatically.
+  void check_failures();
+
+  /// Destroys every live actor (in ascending id order) and drops all
+  /// pending events. Higher layers whose objects are referenced from actor
+  /// frames (e.g. a Machine's network) call this from their destructors so
+  /// frame teardown runs while those objects are still alive.
+  void shutdown();
+
+  /// Installs (or clears, with nullptr) a lifecycle observer. The observer
+  /// must outlive its registration; shutdown() does not notify.
+  void set_observer(EngineObserver* observer) { observer_ = observer; }
+
+ private:
+  friend void engine_actor_finished(Engine&, std::uint64_t, std::exception_ptr);
+
+  struct Actor {
+    std::string name;
+    Task<void>::Handle root;
+    std::unique_ptr<ActorContext> ctx;
+    std::shared_ptr<bool> alive;
+    std::vector<Resumption> joiners;
+  };
+
+  struct Event {
+    Time t = 0;
+    std::uint64_t seq = 0;
+    // Exactly one of {resume.handle, fn} is set.
+    Resumption resume;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;  // for fn events only
+  };
+
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;  // min-heap on time
+      return a.seq > b.seq;              // FIFO among equal times
+    }
+  };
+
+  void dispatch(Event& ev);
+  void reap_finished_and_killed();
+  void destroy_actor(std::unordered_map<ActorId, Actor>::iterator it,
+                     std::exception_ptr error);
+
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t events_executed_ = 0;
+  ActorId next_actor_id_ = 1;
+  ActorId running_actor_ = 0;  // 0 = none
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::unordered_map<ActorId, Actor> actors_;
+  // Actors whose root completed during the current dispatch, plus the error
+  // (if any) their body ended with; reaped after the dispatch unwinds.
+  std::vector<std::pair<ActorId, std::exception_ptr>> finished_;
+  std::vector<ActorId> deferred_kills_;
+  std::vector<std::exception_ptr> unhandled_errors_;
+  EngineObserver* observer_ = nullptr;
+  bool in_shutdown_ = false;
+};
+
+struct JoinAwaiter {
+  Engine* engine;
+  ActorId id;
+  bool await_ready() const noexcept;
+  template <typename Promise>
+  void await_suspend(std::coroutine_handle<Promise> h) {
+    engine->add_joiner(id, Resumption::of(h, h.promise().context()));
+  }
+  void await_resume() const noexcept {}
+};
+
+inline auto Engine::join(ActorId id) { return JoinAwaiter{this, id}; }
+
+inline bool JoinAwaiter::await_ready() const noexcept {
+  return !engine->is_live(id);
+}
+
+// --- Basic awaitables ---------------------------------------------------
+
+/// `co_await delay(d)`: resume the current coroutine after `d` simulated
+/// time. `delay(0)` yields through the event queue (a fair "yield").
+struct Delay {
+  Duration d;
+  bool await_ready() const noexcept { return false; }
+  template <typename Promise>
+  void await_suspend(std::coroutine_handle<Promise> h) const {
+    ActorContext* ctx = h.promise().context();
+    ctx->engine->schedule(ctx->engine->now() + d, Resumption::of(h, ctx));
+  }
+  void await_resume() const noexcept {}
+};
+
+inline Delay delay(Duration d) { return Delay{d}; }
+inline Delay yield() { return Delay{0}; }
+
+/// `co_await current_context()`: gives a coroutine access to its own actor
+/// context (engine pointer, actor id, cancellation token).
+struct CurrentContext {
+  ActorContext* ctx = nullptr;
+  bool await_ready() const noexcept { return false; }
+  template <typename Promise>
+  bool await_suspend(std::coroutine_handle<Promise> h) {
+    ctx = h.promise().context();
+    return false;  // never actually suspend
+  }
+  ActorContext* await_resume() const noexcept { return ctx; }
+};
+
+inline CurrentContext current_context() { return {}; }
+
+}  // namespace jets::sim

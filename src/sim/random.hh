@@ -1,0 +1,80 @@
+// Deterministic random-number utilities for workload models.
+//
+// All stochastic model inputs (task durations, fault times, message jitter)
+// draw from an explicitly seeded Rng so every benchmark run regenerates the
+// same figure. Streams can be forked per component (`fork("worker/17")`) so
+// adding draws in one component does not perturb another.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hh"
+
+namespace jets::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : gen_(seed), seed_(seed) {}
+
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Derives an independent deterministic stream for a named component.
+  Rng fork(std::string_view label) const {
+    std::uint64_t h = 1469598103934665603ull;  // FNV-1a over seed || label
+    auto mix = [&h](std::uint64_t byte) {
+      h ^= byte;
+      h *= 1099511628211ull;
+    };
+    for (int i = 0; i < 8; ++i) mix((seed_ >> (8 * i)) & 0xff);
+    for (unsigned char c : label) mix(c);
+    return Rng(h);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(gen_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+  }
+
+  bool bernoulli(double p) { return std::bernoulli_distribution(p)(gen_); }
+
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(gen_);
+  }
+
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(gen_);
+  }
+
+  /// Lognormal parameterised by the *target* median and a shape sigma (the
+  /// log-space standard deviation) — convenient for long-tailed task times.
+  double lognormal_median(double median, double sigma) {
+    return std::lognormal_distribution<double>(std::log(median), sigma)(gen_);
+  }
+
+  /// Random duration uniform in [lo, hi].
+  Duration uniform_duration(Duration lo, Duration hi) {
+    return uniform_int(lo, hi);
+  }
+
+  /// Exponentially distributed duration with the given mean, floored at 0.
+  Duration exponential_duration(Duration mean) {
+    return from_seconds(exponential(to_seconds(mean)));
+  }
+
+  std::mt19937_64& generator() noexcept { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+  std::uint64_t seed_;
+};
+
+}  // namespace jets::sim

@@ -1,0 +1,9 @@
+// Umbrella header for the discrete-event simulation substrate.
+#pragma once
+
+#include "sim/engine.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/sync.hh"
+#include "sim/task.hh"
+#include "sim/time.hh"

@@ -1,0 +1,130 @@
+// Measurement utilities used by the benchmark harnesses: sample summaries,
+// histograms (Fig 11), time series (Figs 10/13), and time-weighted gauges
+// for the utilization metric of Eq. (1) in the paper.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace jets::sim {
+
+/// Accumulates scalar samples; provides mean/min/max/quantiles.
+class Summary {
+ public:
+  void add(double x);
+  std::size_t count() const noexcept { return samples_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  double stddev() const;
+  /// q in [0, 1]; nearest-rank on the sorted samples.
+  double quantile(double q) const;
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// Fixed-width histogram over doubles; values outside [lo, hi) clamp to the
+/// edge bins. Used for the NAMD wall-time distribution (Fig 11).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x);
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+  std::size_t total() const noexcept { return total_; }
+  /// Rows of "lo hi count" for harness output.
+  std::string to_table() const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Ordered (time, value) series, e.g. running-job counts (Figs 10, 13).
+class TimeSeries {
+ public:
+  void add(Time t, double v) { points_.emplace_back(t, v); }
+  std::size_t size() const noexcept { return points_.size(); }
+  const std::vector<std::pair<Time, double>>& points() const noexcept {
+    return points_;
+  }
+  /// Downsamples to at most `max_points` by striding (for printed figures).
+  TimeSeries downsample(std::size_t max_points) const;
+  std::string to_table() const;
+
+ private:
+  std::vector<std::pair<Time, double>> points_;
+};
+
+/// A gauge whose time-weighted integral can be queried: drives utilization
+/// (busy core-seconds / capacity core-seconds), queue lengths over time, etc.
+class TimeWeightedGauge {
+ public:
+  explicit TimeWeightedGauge(double initial = 0.0) : value_(initial) {}
+
+  void set(Time now, double v);
+  void add(Time now, double dv);
+  double value() const noexcept { return value_; }
+
+  /// Integral of the gauge over [0, now].
+  double integral(Time now) const;
+
+  /// Time-average of the gauge over [from, to] given the integral bookkeeping
+  /// started at 0. Requires from <= to.
+  double average(Time from, Time to) const;
+
+  /// The recorded step points (for plotting load level, Fig 13).
+  const TimeSeries& series() const noexcept { return series_; }
+
+ private:
+  double value_ = 0.0;
+  Time last_change_ = 0;
+  double integral_ = 0.0;          // over [0, last_change_]
+  double integral_at_from_ = 0.0;  // helper for average(); see .cc
+  TimeSeries series_;
+  // Past integral checkpoints for average(from, to) queries.
+  std::map<Time, double> checkpoints_;
+};
+
+/// The paper's utilization metric, Eq. (1):
+///   utilization = (duration * jobs * n) / (allocation_size * time)
+/// expressed here as busy core-time over capacity core-time.
+class UtilizationMeter {
+ public:
+  explicit UtilizationMeter(std::size_t capacity_cores)
+      : capacity_(capacity_cores), busy_(0.0) {}
+
+  void task_started(Time now, std::size_t cores) {
+    busy_.add(now, static_cast<double>(cores));
+  }
+  void task_finished(Time now, std::size_t cores) {
+    busy_.add(now, -static_cast<double>(cores));
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  double busy_now() const noexcept { return busy_.value(); }
+
+  /// Utilization over [from, to].
+  double utilization(Time from, Time to) const;
+
+  /// Load level (busy cores) as a time series, for Fig 13.
+  const TimeSeries& load_series() const noexcept { return busy_.series(); }
+
+ private:
+  std::size_t capacity_;
+  TimeWeightedGauge busy_;
+};
+
+}  // namespace jets::sim

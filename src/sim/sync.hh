@@ -1,0 +1,293 @@
+// Synchronization primitives for simulated processes: Gate (one-shot /
+// re-armable broadcast event), Channel<T> (unbounded MPSC-style message
+// queue with optional receive timeout), and Semaphore (counted permits with
+// FIFO handoff and leak-proof cancellation).
+//
+// All primitives wake waiters *through the engine's event queue* at the
+// current simulated time rather than resuming inline. This keeps the event
+// loop the only resumer (bounded stack depth) and preserves deterministic
+// FIFO ordering between equal-time wakeups.
+#pragma once
+
+#include <cassert>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hh"
+#include "sim/task.hh"
+#include "sim/time.hh"
+
+namespace jets::sim {
+
+/// A broadcast event. wait() suspends until open(); open() releases all
+/// current and future waiters until close() re-arms it.
+class Gate {
+ public:
+  explicit Gate(Engine& engine) : engine_(&engine) {}
+  Gate(const Gate&) = delete;
+  Gate& operator=(const Gate&) = delete;
+
+  bool is_open() const noexcept { return open_; }
+
+  void open() {
+    if (open_) return;
+    open_ = true;
+    for (Resumption& r : waiters_) {
+      engine_->schedule(engine_->now(), std::move(r));
+    }
+    waiters_.clear();
+  }
+
+  /// Re-arms the gate so subsequent wait() calls block again.
+  void close() { open_ = false; }
+
+  struct WaitAwaiter {
+    Gate* gate;
+    bool await_ready() const noexcept { return gate->open_; }
+    template <typename Promise>
+    void await_suspend(std::coroutine_handle<Promise> h) {
+      gate->waiters_.push_back(Resumption::of(h, h.promise().context()));
+    }
+    void await_resume() const noexcept {}
+  };
+
+  auto wait() { return WaitAwaiter{this}; }
+
+ private:
+  Engine* engine_;
+  bool open_ = false;
+  std::vector<Resumption> waiters_;
+};
+
+/// Unbounded FIFO message channel. Senders never block; receivers block
+/// until a value arrives, the channel is closed, or (recv_for) a timeout
+/// elapses. Receivers whose actor has been killed are skipped.
+///
+/// Channels are typically held via std::shared_ptr when endpoints have
+/// different lifetimes (e.g., the two ends of a socket).
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Engine& engine) : engine_(&engine) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Enqueues a value; delivers directly to the oldest live waiter if any.
+  void push(T value) {
+    assert(!closed_ && "push on closed channel");
+    while (!waiters_.empty()) {
+      WaitNode node = std::move(waiters_.front());
+      waiters_.pop_front();
+      if (node.state->settled || node.resume.token.expired()) continue;
+      node.state->settled = true;
+      node.state->value = std::move(value);
+      engine_->schedule(engine_->now(), std::move(node.resume));
+      return;
+    }
+    buffer_.push_back(std::move(value));
+  }
+
+  /// Closes the channel: pending waiters (and future receives once the
+  /// buffer drains) complete with std::nullopt. Idempotent.
+  void close() {
+    if (closed_) return;
+    closed_ = true;
+    for (WaitNode& node : waiters_) {
+      if (node.state->settled) continue;
+      node.state->settled = true;  // value stays nullopt -> "closed"
+      engine_->schedule(engine_->now(), std::move(node.resume));
+    }
+    waiters_.clear();
+  }
+
+  bool closed() const noexcept { return closed_; }
+  bool empty() const noexcept { return buffer_.empty(); }
+  std::size_t size() const noexcept { return buffer_.size(); }
+
+  /// `co_await ch.recv()` -> std::optional<T>; nullopt means closed.
+  auto recv() { return RecvAwaiter{this, -1}; }
+
+  /// `co_await ch.recv_for(d)` -> std::optional<T>; nullopt means timeout
+  /// or closed. `d < 0` means wait forever.
+  auto recv_for(Duration timeout) { return RecvAwaiter{this, timeout}; }
+
+ private:
+  struct RecvState {
+    std::optional<T> value;
+    bool settled = false;
+  };
+
+  struct WaitNode {
+    Resumption resume;
+    std::shared_ptr<RecvState> state;
+  };
+
+  struct RecvAwaiter {
+    RecvAwaiter(Channel* ch, Duration timeout) : ch(ch), timeout(timeout) {}
+    Channel* ch;
+    Duration timeout;
+    std::shared_ptr<RecvState> state;
+    std::optional<T> immediate;
+    TimerHandle timer;
+
+    bool await_ready() {
+      if (!ch->buffer_.empty()) {
+        immediate = std::move(ch->buffer_.front());
+        ch->buffer_.pop_front();
+        return true;
+      }
+      if (ch->closed_ || timeout == 0) return true;  // nullopt
+      return false;
+    }
+
+    template <typename Promise>
+    void await_suspend(std::coroutine_handle<Promise> h) {
+      state = std::make_shared<RecvState>();
+      Resumption r = Resumption::of(h, h.promise().context());
+      if (timeout >= 0) {
+        Engine* engine = ch->engine_;
+        // The timer holds its own copies; if it fires first it settles the
+        // state so a later push() skips this node.
+        timer = engine->call_at(
+            engine->now() + timeout,
+            [state = state, r]() mutable {
+              if (state->settled) return;
+              state->settled = true;  // value stays nullopt -> "timeout"
+              if (auto alive = r.token.lock()) {
+                r.ctx->engine->schedule(r.ctx->engine->now(), std::move(r));
+              }
+            });
+      }
+      ch->waiters_.push_back(WaitNode{std::move(r), state});
+    }
+
+    std::optional<T> await_resume() {
+      if (!state) return std::move(immediate);
+      timer.cancel();
+      return std::move(state->value);
+    }
+  };
+
+  Engine* engine_;
+  std::deque<T> buffer_;
+  std::deque<WaitNode> waiters_;
+  bool closed_ = false;
+};
+
+/// Counted semaphore with FIFO handoff. A permit granted to a waiter whose
+/// coroutine is destroyed before it resumes is returned to the pool (the
+/// awaiter's destructor detects "granted but never consumed"), so kills
+/// cannot leak permits.
+class Semaphore {
+ public:
+  Semaphore(Engine& engine, std::size_t permits)
+      : engine_(&engine), available_(permits) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  std::size_t available() const noexcept { return available_; }
+  std::size_t waiting() const noexcept { return waiters_.size(); }
+
+  /// `co_await sem.acquire()`: obtains one permit (FIFO order).
+  auto acquire() { return AcquireAwaiter{this}; }
+
+  /// Returns one permit, handing it to the oldest live waiter if any.
+  void release() {
+    while (!waiters_.empty()) {
+      WaitNode node = std::move(waiters_.front());
+      waiters_.pop_front();
+      if (node.state->settled || node.resume.token.expired()) continue;
+      node.state->settled = true;
+      node.state->granted = true;
+      engine_->schedule(engine_->now(), std::move(node.resume));
+      return;  // permit handed over directly
+    }
+    ++available_;
+  }
+
+ private:
+  struct AcquireState {
+    bool settled = false;
+    bool granted = false;
+    bool consumed = false;
+  };
+
+  struct WaitNode {
+    Resumption resume;
+    std::shared_ptr<AcquireState> state;
+  };
+
+  struct AcquireAwaiter {
+    explicit AcquireAwaiter(Semaphore* sem) : sem(sem) {}
+    Semaphore* sem;
+    std::shared_ptr<AcquireState> state;
+
+    bool await_ready() {
+      if (sem->available_ > 0) {
+        --sem->available_;
+        return true;
+      }
+      return false;
+    }
+
+    template <typename Promise>
+    void await_suspend(std::coroutine_handle<Promise> h) {
+      state = std::make_shared<AcquireState>();
+      sem->waiters_.push_back(
+          WaitNode{Resumption::of(h, h.promise().context()), state});
+    }
+
+    void await_resume() {
+      if (state) state->consumed = true;
+    }
+
+    ~AcquireAwaiter() {
+      // Frame destroyed after the permit was handed over but before the
+      // coroutine resumed: give the permit back.
+      if (state && state->granted && !state->consumed) sem->release();
+    }
+  };
+
+  Engine* engine_;
+  std::size_t available_;
+  std::deque<WaitNode> waiters_;
+};
+
+/// RAII permit holder: `auto permit = co_await Permit::acquire(sem);`
+/// releases on destruction (including when the owning frame is killed).
+class Permit {
+ public:
+  Permit() = default;
+  explicit Permit(Semaphore& sem) : sem_(&sem) {}
+  Permit(Permit&& o) noexcept : sem_(std::exchange(o.sem_, nullptr)) {}
+  Permit& operator=(Permit&& o) noexcept {
+    if (this != &o) {
+      reset();
+      sem_ = std::exchange(o.sem_, nullptr);
+    }
+    return *this;
+  }
+  Permit(const Permit&) = delete;
+  Permit& operator=(const Permit&) = delete;
+  ~Permit() { reset(); }
+
+  static Task<Permit> acquire(Semaphore& sem) {
+    co_await sem.acquire();
+    co_return Permit(sem);
+  }
+
+  void reset() {
+    if (sem_) {
+      sem_->release();
+      sem_ = nullptr;
+    }
+  }
+
+ private:
+  Semaphore* sem_ = nullptr;
+};
+
+}  // namespace jets::sim

@@ -1,0 +1,43 @@
+// Simulated-time representation for the JETS discrete-event engine.
+//
+// All simulation clocks are 64-bit signed nanosecond counts from the start of
+// the run. Integer time (rather than floating-point seconds) keeps event
+// ordering exact and runs bit-reproducible across platforms, which the
+// benchmark harnesses rely on.
+#pragma once
+
+#include <cstdint>
+
+namespace jets::sim {
+
+/// Absolute simulated time, in nanoseconds since the start of the run.
+using Time = std::int64_t;
+
+/// A span of simulated time, in nanoseconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1'000;
+inline constexpr Duration kMillisecond = 1'000'000;
+inline constexpr Duration kSecond = 1'000'000'000;
+
+/// Largest representable time; used as "never" for timeouts.
+inline constexpr Time kTimeInfinity = INT64_MAX;
+
+constexpr Duration nanoseconds(std::int64_t n) { return n; }
+constexpr Duration microseconds(std::int64_t n) { return n * kMicrosecond; }
+constexpr Duration milliseconds(std::int64_t n) { return n * kMillisecond; }
+constexpr Duration seconds(std::int64_t n) { return n * kSecond; }
+
+/// Converts a (possibly fractional) second count to a Duration, rounding to
+/// the nearest nanosecond. Handy for model parameters expressed in seconds.
+constexpr Duration from_seconds(double s) {
+  return static_cast<Duration>(s * static_cast<double>(kSecond) + (s >= 0 ? 0.5 : -0.5));
+}
+
+/// Converts a Duration (or Time) to floating-point seconds for reporting.
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+}  // namespace jets::sim

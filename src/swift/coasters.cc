@@ -1,0 +1,70 @@
+#include "swift/coasters.hh"
+
+namespace jets::swift {
+
+CoasterService::CoasterService(os::Machine& machine,
+                               const os::AppRegistry& apps, Config config)
+    : machine_(&machine), apps_(&apps), config_(std::move(config)) {}
+
+void CoasterService::start_service() {
+  if (service_) return;
+  service_ = std::make_unique<core::Service>(
+      *machine_, *apps_, machine_->login_node(), config_.service);
+  service_->start();
+}
+
+void CoasterService::add_workers(const std::vector<os::NodeId>& nodes) {
+  core::WorkerConfig wc = config_.worker;
+  wc.service = service_->address();
+  for (os::NodeId node : nodes) {
+    for (int s = 0; s < config_.workers_per_node; ++s) {
+      worker_pids_.push_back(core::start_worker(*machine_, *apps_, node, wc));
+    }
+  }
+}
+
+void CoasterService::start_on(const std::vector<os::NodeId>& nodes) {
+  start_service();
+  add_workers(nodes);
+}
+
+void CoasterService::start_with_blocks(os::BatchScheduler& sched,
+                                       std::size_t target_nodes,
+                                       sim::Duration walltime, bool spectrum) {
+  start_service();
+  std::vector<std::size_t> block_sizes;
+  if (!spectrum) {
+    block_sizes.push_back(target_nodes);
+  } else {
+    // Spectrum: halving sizes until everything is covered; small blocks
+    // clear the queue quickly and start feeding workers early.
+    std::size_t remaining = target_nodes;
+    std::size_t piece = std::max<std::size_t>(1, target_nodes / 2);
+    while (remaining > 0) {
+      const std::size_t take = std::min(piece, remaining);
+      block_sizes.push_back(take);
+      remaining -= take;
+      if (piece > 1) piece = std::max<std::size_t>(1, piece / 2);
+    }
+  }
+  for (std::size_t size : block_sizes) {
+    machine_->engine().spawn(
+        "coasters-block",
+        [](CoasterService* self, os::BatchScheduler* sched, std::size_t size,
+           sim::Duration walltime) -> sim::Task<void> {
+          auto alloc = co_await sched->submit(size, walltime);
+          self->add_workers(alloc.nodes);
+          // Pilot blocks run until their walltime; returning nodes to the
+          // scheduler at expiry is the harness's concern (short harnesses
+          // finish well inside the walltime).
+        }(this, &sched, size, walltime));
+  }
+}
+
+sim::Task<core::JobRecord> CoasterService::run_job(core::JobSpec spec) {
+  const core::JobId id = service_->submit(std::move(spec));
+  co_await service_->wait_job(id);
+  co_return service_->record(id);
+}
+
+}  // namespace jets::swift

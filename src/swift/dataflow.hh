@@ -1,0 +1,61 @@
+// Swift-style dataflow values.
+//
+// Swift (paper §4.1) is a dataflow language: every statement runs as soon
+// as — and only when — its input data become available. Variables are
+// single-assignment futures mapped to files. This header provides that
+// future type; swift/engine.hh provides the statement semantics.
+//
+// The REM script of Fig 17 is expressed directly over these: `c[current]`,
+// `v[current]`, `x[neighbor]`... each is a DataVar; namd() closes its
+// output vars when the task completes, which releases the next segment.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hh"
+#include "sim/sync.hh"
+#include "sim/task.hh"
+
+namespace jets::swift {
+
+/// Single-assignment, file-mapped dataflow variable.
+class DataVar {
+ public:
+  DataVar(sim::Engine& engine, std::string path, std::uint64_t bytes = 0)
+      : gate_(engine), path_(std::move(path)), bytes_(bytes) {}
+  DataVar(const DataVar&) = delete;
+  DataVar& operator=(const DataVar&) = delete;
+
+  const std::string& path() const { return path_; }
+  std::uint64_t bytes() const { return bytes_; }
+  bool is_set() const { return gate_.is_open(); }
+
+  /// Closes the variable (the mapped file now exists); idempotence is an
+  /// error in Swift — enforce single assignment.
+  void set() {
+    if (gate_.is_open()) {
+      throw std::logic_error("double assignment of dataflow variable " + path_);
+    }
+    gate_.open();
+  }
+
+  /// Awaits availability.
+  auto wait() { return gate_.wait(); }
+
+ private:
+  sim::Gate gate_;
+  std::string path_;
+  std::uint64_t bytes_;
+};
+
+using DataPtr = std::shared_ptr<DataVar>;
+
+inline DataPtr make_data(sim::Engine& engine, std::string path,
+                         std::uint64_t bytes = 0) {
+  return std::make_shared<DataVar>(engine, std::move(path), bytes);
+}
+
+}  // namespace jets::swift

@@ -1,0 +1,73 @@
+// A textual Swift-like scripting language for JETS workflows.
+//
+// The paper's "language support" is Swift (§4.1): implicitly concurrent
+// statements ordered only by dataflow through file-mapped variables. This
+// module implements a compact subset sufficient to write the paper's two
+// scripts — the Fig 14 synthetic loop and the Fig 17 REM core loop —
+// as *actual scripts* interpreted onto the SwiftEngine:
+//
+//   # comment
+//   file out[];                    # array of file futures
+//   file token;                    # scalar file future
+//   set token;                     # initial data: the file exists
+//   foreach i in 0..63 {
+//     app (out[i]) = mpi_sleep_write(10) mpi nprocs=8 ppn=8;
+//   }
+//   if (j %% 2 == 0) { ... } else { ... }
+//   app (x[i]) = exchange(o[i], o[i+1]) login cost=0.4;
+//
+// Semantics match Swift's: every `app` statement is registered
+// immediately (loops unroll at interpretation time) and *fires* when its
+// input files are all set; `%%` is Swift's modulus operator (Fig 17).
+// File arguments are both dataflow inputs and argv entries (their mapped
+// paths); integer/string expressions become plain argv entries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "swift/engine.hh"
+
+namespace jets::swift {
+
+/// Syntax or semantic error, with 1-based line information.
+class ScriptError : public std::runtime_error {
+ public:
+  ScriptError(std::size_t line, const std::string& what)
+      : std::runtime_error("script line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Interprets scripts onto a SwiftEngine. Variables persist across run()
+/// calls, so a driver can feed a script in pieces.
+class ScriptRunner {
+ public:
+  explicit ScriptRunner(SwiftEngine& engine) : engine_(&engine) {}
+
+  /// Parses and interprets `source`; app statements register with the
+  /// engine (start engine.run_to_completion() afterwards to execute).
+  void run(const std::string& source);
+
+  /// Looks up a declared file variable (scalar: index 0).
+  DataPtr variable(const std::string& name, std::int64_t index = 0) const;
+
+  std::size_t statements_registered() const { return statements_; }
+
+ private:
+  friend class ScriptInterp;
+  DataPtr get_or_create(const std::string& name, std::int64_t index);
+
+  SwiftEngine* engine_;
+  /// name -> declared?; arrays and scalars share the map (scalar = [0]).
+  std::map<std::string, std::map<std::int64_t, DataPtr>> vars_;
+  std::size_t statements_ = 0;
+};
+
+}  // namespace jets::swift

@@ -1,0 +1,290 @@
+// Integration tests for the JETS service, workers, stand-alone tool, and
+// fault tolerance — the paper's §5 feature list exercised end to end.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "apps/synthetic.hh"
+#include "core/faults.hh"
+#include "core/service.hh"
+#include "core/standalone.hh"
+#include "testbed.hh"
+
+namespace jets::core {
+namespace {
+
+using test::TestBed;
+
+/// A bed with synthetic apps installed and binaries on GPFS.
+struct JetsBed : TestBed {
+  apps::SyntheticResults results;
+  explicit JetsBed(os::MachineSpec spec) : TestBed(std::move(spec)) {
+    apps::install_synthetic_apps(apps, &results);
+    for (const char* name : {"noop", "sleep", "mpi_sleep", "mpi_sleep_write",
+                             "pingpong"}) {
+      machine.shared_fs().put(name, 1'000'000);
+    }
+  }
+
+  StandaloneOptions fast_options() {
+    StandaloneOptions o;
+    o.worker.task_overhead = sim::milliseconds(2);
+    return o;
+  }
+
+  BatchReport run(StandaloneJets& jets, std::vector<JobSpec> jobs) {
+    BatchReport report;
+    engine.spawn("batch", [](StandaloneJets& jets, std::vector<JobSpec> jobs,
+                             BatchReport& out) -> sim::Task<void> {
+      out = co_await jets.run_batch(std::move(jobs));
+    }(jets, std::move(jobs), report));
+    engine.run();
+    return report;
+  }
+
+  static std::vector<os::NodeId> nodes(std::size_t n) {
+    std::vector<os::NodeId> v;
+    for (std::size_t i = 0; i < n; ++i) v.push_back(static_cast<os::NodeId>(i));
+    return v;
+  }
+};
+
+JobSpec seq_job(std::vector<std::string> argv) {
+  JobSpec s;
+  s.argv = std::move(argv);
+  return s;
+}
+
+JobSpec mpi_job(int nprocs, std::vector<std::string> argv, int ppn = 1) {
+  JobSpec s;
+  s.kind = JobKind::kMpi;
+  s.nprocs = nprocs;
+  s.ppn = ppn;
+  s.argv = std::move(argv);
+  return s;
+}
+
+TEST(Standalone, SequentialBatchCompletes) {
+  JetsBed bed(os::Machine::breadboard(4));
+  StandaloneJets jets(bed.machine, bed.apps, bed.fast_options());
+  jets.start(JetsBed::nodes(4));
+  std::vector<JobSpec> jobs(16, seq_job({"sleep", "0.5"}));
+  BatchReport r = bed.run(jets, jobs);
+  EXPECT_EQ(r.completed, 16u);
+  EXPECT_EQ(r.failed, 0u);
+  for (const auto& rec : r.records) {
+    EXPECT_EQ(rec.status, JobStatus::kDone);
+    EXPECT_GE(rec.wall_seconds(), 0.5);
+    EXPECT_EQ(rec.attempts, 1);
+  }
+}
+
+TEST(Standalone, JobsRunConcurrentlyAcrossWorkers) {
+  JetsBed bed(os::Machine::breadboard(8));
+  StandaloneJets jets(bed.machine, bed.apps, bed.fast_options());
+  jets.start(JetsBed::nodes(8));
+  // 8 one-second jobs on 8 workers should take ~1 s, not ~8 s.
+  BatchReport r = bed.run(jets, std::vector<JobSpec>(8, seq_job({"sleep", "1"})));
+  EXPECT_EQ(r.completed, 8u);
+  EXPECT_LT(r.makespan_seconds(), 2.0);
+  EXPECT_GT(r.utilization(), 0.5);
+}
+
+TEST(Standalone, MpiJobAggregatesWorkers) {
+  JetsBed bed(os::Machine::breadboard(8));
+  StandaloneJets jets(bed.machine, bed.apps, bed.fast_options());
+  jets.start(JetsBed::nodes(8));
+  BatchReport r = bed.run(jets, {mpi_job(4, {"mpi_sleep", "1"})});
+  EXPECT_EQ(r.completed, 1u);
+  EXPECT_GE(r.records[0].wall_seconds(), 1.0);
+}
+
+TEST(Standalone, MixedSizesFromPaperInputFile) {
+  JetsBed bed(os::Machine::breadboard(10));
+  StandaloneJets jets(bed.machine, bed.apps, bed.fast_options());
+  jets.start(JetsBed::nodes(10));
+  // The §5.1 example, with our synthetic app standing in for namd2.sh.
+  BatchReport r;
+  bed.engine.spawn("batch", [](StandaloneJets& jets, BatchReport& out) -> sim::Task<void> {
+    out = co_await jets.run_input(
+        "MPI: 4 mpi_sleep 1\n"
+        "MPI: 8 mpi_sleep 1\n"
+        "MPI: 6 mpi_sleep 1\n");
+  }(jets, r));
+  bed.engine.run();
+  EXPECT_EQ(r.completed, 3u);
+  EXPECT_EQ(r.failed, 0u);
+}
+
+TEST(Standalone, PpnPacksMultipleRanksPerWorker) {
+  JetsBed bed(os::Machine::breadboard(2));
+  StandaloneJets jets(bed.machine, bed.apps, bed.fast_options());
+  jets.start(JetsBed::nodes(2));
+  // 8 ranks at ppn=4 need only 2 workers.
+  BatchReport r = bed.run(jets, {mpi_job(8, {"mpi_sleep", "1"}, /*ppn=*/4)});
+  EXPECT_EQ(r.completed, 1u);
+}
+
+TEST(Standalone, FifoHeadOfLineBlocksUntilEnoughWorkers) {
+  JetsBed bed(os::Machine::breadboard(4));
+  StandaloneJets jets(bed.machine, bed.apps, bed.fast_options());
+  jets.start(JetsBed::nodes(2));  // only 2 workers
+  // A 4-proc job can never run on 2 workers; with FIFO the queue stalls —
+  // but the small job behind it must not starve the batch forever, so we
+  // use a timeout on the big job to let the batch settle.
+  JobSpec big = mpi_job(4, {"mpi_sleep", "1"});
+  big.timeout = sim::seconds(30);
+  JobSpec small = seq_job({"noop"});
+  BatchReport r = bed.run(jets, {big, small});
+  const auto& bigrec = r.records[0];
+  const auto& smallrec = r.records[1];
+  EXPECT_EQ(bigrec.status, JobStatus::kFailed);  // never placeable
+  EXPECT_EQ(smallrec.status, JobStatus::kDone);
+  // FIFO: the small job only ran after the big one failed out of the queue.
+  EXPECT_GE(smallrec.started_at, sim::seconds(30));
+}
+
+TEST(Standalone, BackfillLetsSmallJobsPassBlockedHead) {
+  JetsBed bed(os::Machine::breadboard(4));
+  StandaloneOptions opts;
+  opts.worker.task_overhead = sim::milliseconds(2);
+  opts.service.policy = SchedPolicy::kPriorityBackfill;
+  StandaloneJets jets(bed.machine, bed.apps, opts);
+  jets.start(JetsBed::nodes(2));
+  JobSpec big = mpi_job(4, {"mpi_sleep", "1"});  // never fits 2 workers
+  big.timeout = sim::seconds(30);
+  JobSpec small = seq_job({"noop"});
+  BatchReport r = bed.run(jets, {big, small});
+  EXPECT_EQ(r.records[1].status, JobStatus::kDone);
+  // Backfill: the small job ran long before the big job's timeout.
+  EXPECT_LT(r.records[1].finished_at, sim::seconds(5));
+}
+
+TEST(Standalone, WorkerDeathRetriesSequentialTask) {
+  JetsBed bed(os::Machine::breadboard(3));
+  StandaloneJets jets(bed.machine, bed.apps, bed.fast_options());
+  jets.start(JetsBed::nodes(3));
+  std::vector<JobSpec> jobs(3, seq_job({"sleep", "10"}));
+  // Kill one worker 2 s in: its task must be retried on another worker.
+  bed.engine.call_at(sim::seconds(2),
+                     [&] { bed.machine.kill(jets.worker_pids()[0]); });
+  BatchReport r = bed.run(jets, jobs);
+  EXPECT_EQ(r.completed, 3u);
+  EXPECT_EQ(r.failed, 0u);
+  int total_attempts = 0;
+  for (const auto& rec : r.records) total_attempts += rec.attempts;
+  EXPECT_EQ(total_attempts, 4);  // exactly one retry
+}
+
+TEST(Standalone, WorkerDeathDuringMpiJobRetriesWholeJob) {
+  JetsBed bed(os::Machine::breadboard(6));
+  StandaloneJets jets(bed.machine, bed.apps, bed.fast_options());
+  jets.start(JetsBed::nodes(6));
+  std::vector<JobSpec> jobs{mpi_job(4, {"mpi_sleep", "10"})};
+  bed.engine.call_at(sim::seconds(3),
+                     [&] { bed.machine.kill(jets.worker_pids()[1]); });
+  BatchReport r = bed.run(jets, jobs);
+  EXPECT_EQ(r.completed, 1u);
+  EXPECT_EQ(r.records[0].attempts, 2);
+  // 5 surviving workers still fit the 4-proc job.
+  EXPECT_GE(r.records[0].wall_seconds(), 10.0);
+}
+
+TEST(Standalone, ExhaustedRetriesFailTheJob) {
+  JetsBed bed(os::Machine::breadboard(2));
+  bed.apps.install("always_fails", [](os::Env&) -> sim::Task<void> {
+    throw std::runtime_error("bad app");
+  });
+  StandaloneOptions opts;
+  opts.service.max_attempts = 2;
+  StandaloneJets jets(bed.machine, bed.apps, opts);
+  jets.start(JetsBed::nodes(2));
+  BatchReport r = bed.run(jets, {seq_job({"always_fails"})});
+  EXPECT_EQ(r.failed, 1u);
+  EXPECT_EQ(r.records[0].status, JobStatus::kFailed);
+  EXPECT_EQ(r.records[0].attempts, 2);
+}
+
+TEST(Standalone, TimeoutAbortsHangingJob) {
+  JetsBed bed(os::Machine::breadboard(2));
+  StandaloneOptions opts;
+  opts.service.max_attempts = 1;
+  StandaloneJets jets(bed.machine, bed.apps, opts);
+  jets.start(JetsBed::nodes(2));
+  JobSpec hang = seq_job({"sleep", "100000"});
+  hang.timeout = sim::seconds(5);
+  BatchReport r = bed.run(jets, {hang});
+  EXPECT_EQ(r.failed, 1u);
+  EXPECT_LT(bed.engine.now(), sim::seconds(60));
+}
+
+TEST(Standalone, FaultInjectorDrainsWorkersButServiceSurvives) {
+  // The Fig 10 scenario in miniature: 8 workers, a fault every 2 s, an
+  // oversized batch of quick tasks; JETS keeps using surviving workers.
+  JetsBed bed(os::Machine::breadboard(8));
+  StandaloneOptions opts = bed.fast_options();
+  opts.service.max_attempts = 10;
+  StandaloneJets jets(bed.machine, bed.apps, opts);
+  jets.start(JetsBed::nodes(8));
+  FaultInjector chaos(bed.machine, jets.worker_pids(), sim::seconds(2),
+                      sim::Rng(99));
+  chaos.start();
+  std::vector<JobSpec> jobs(40, seq_job({"sleep", "0.5"}));
+  BatchReport r = bed.run(jets, jobs);
+  // All workers eventually die (8 kills x 2 s = 16 s; batch of 40 x 0.5 s
+  // over dwindling workers finishes first or mostly finishes).
+  EXPECT_EQ(chaos.killed(), 8u);
+  EXPECT_GT(r.completed, 30u);  // the vast majority completed despite chaos
+}
+
+TEST(Standalone, StagingSpeedsUpBatch) {
+  // §6.1.4: store the app binary in node-local storage -> faster startups.
+  // The benefit shows at scale, where many nodes hammer GPFS concurrently.
+  auto run_once = [](bool stage) {
+    JetsBed bed(os::Machine::surveyor(64));
+    bed.machine.shared_fs().put("mpi_sleep", 60'000'000);  // NAMD-sized image
+    StandaloneOptions opts;
+    opts.worker.task_overhead = sim::milliseconds(50);
+    if (stage) {
+      opts.worker.stage_files = {pmi::kProxyBinary, "mpi_sleep"};
+    }
+    StandaloneJets jets(bed.machine, bed.apps, opts);
+    jets.start(JetsBed::nodes(64));
+    std::vector<JobSpec> jobs(64, mpi_job(4, {"mpi_sleep", "1"}));
+    BatchReport r = bed.run(jets, jobs);
+    EXPECT_EQ(r.completed, 64u);
+    return r.makespan_seconds();
+  };
+  const double unstaged = run_once(false);
+  const double staged = run_once(true);
+  EXPECT_LT(staged, unstaged * 0.8);
+}
+
+TEST(Standalone, NetworkAwareGroupingPicksContiguousNodes) {
+  JetsBed bed(os::Machine::breadboard(16));
+  StandaloneOptions opts = bed.fast_options();
+  opts.service.network_aware_grouping = true;
+  StandaloneJets jets(bed.machine, bed.apps, opts);
+  jets.start(JetsBed::nodes(16));
+  BatchReport r = bed.run(jets, {mpi_job(4, {"mpi_sleep", "0.5"})});
+  EXPECT_EQ(r.completed, 1u);
+}
+
+TEST(Standalone, UtilizationHighForOneSecondTasks) {
+  // The headline Fig 7 claim: ~90 % utilization for single-second MPI
+  // tasks through JETS.
+  JetsBed bed(os::Machine::breadboard(16));
+  StandaloneOptions opts;
+  opts.worker.task_overhead = sim::milliseconds(5);
+  opts.worker.stage_files = {pmi::kProxyBinary, "mpi_sleep"};
+  StandaloneJets jets(bed.machine, bed.apps, opts);
+  jets.start(JetsBed::nodes(16));
+  std::vector<JobSpec> jobs(4 * 16 / 4, mpi_job(4, {"mpi_sleep", "1"}));
+  BatchReport r = bed.run(jets, jobs);
+  EXPECT_EQ(r.completed, jobs.size());
+  EXPECT_GT(r.utilization(), 0.75);
+}
+
+}  // namespace
+}  // namespace jets::core

@@ -1,0 +1,258 @@
+// Tests for the molecular dynamics kernel and replica exchange, including
+// physics invariants (energy conservation, Maxwell-Boltzmann-ish initial
+// conditions, Metropolis acceptance behaviour).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "md/analysis.hh"
+#include "md/lj_system.hh"
+#include "md/replica_exchange.hh"
+
+namespace jets::md {
+namespace {
+
+LjConfig small_config() {
+  LjConfig c;
+  c.particles = 108;
+  c.density = 0.8;
+  c.temperature = 1.0;
+  c.dt = 0.004;
+  return c;
+}
+
+TEST(LjSystem, InitialTemperatureMatchesTarget) {
+  LjSystem sys(small_config());
+  EXPECT_NEAR(sys.observe().temperature, 1.0, 1e-9);
+}
+
+TEST(LjSystem, CenterOfMassIsStationary) {
+  LjSystem sys(small_config());
+  Vec3 p{};
+  for (const Vec3& v : sys.velocities()) p += v;
+  EXPECT_NEAR(p.x, 0.0, 1e-9);
+  EXPECT_NEAR(p.y, 0.0, 1e-9);
+  EXPECT_NEAR(p.z, 0.0, 1e-9);
+}
+
+TEST(LjSystem, NveEnergyIsConserved) {
+  LjSystem sys(small_config());
+  sys.step(50);  // settle the lattice jitter
+  const double e0 = sys.observe().total();
+  sys.step(500);
+  const double e1 = sys.observe().total();
+  // Velocity Verlet drift should be far below thermal energy scales.
+  EXPECT_NEAR(e1, e0, std::abs(e0) * 0.01 + 0.5);
+}
+
+TEST(LjSystem, PotentialIsNegativeInLiquid) {
+  LjSystem sys(small_config());
+  sys.step(100);
+  EXPECT_LT(sys.observe().potential, 0.0);  // cohesive LJ liquid
+}
+
+TEST(LjSystem, ParticlesStayInBox) {
+  LjSystem sys(small_config());
+  sys.step(200);
+  const double box = sys.box();
+  for (const Vec3& p : sys.positions()) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, box);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, box);
+    EXPECT_GE(p.z, 0.0);
+    EXPECT_LT(p.z, box);
+  }
+}
+
+TEST(LjSystem, DeterministicForFixedSeed) {
+  LjSystem a(small_config());
+  LjSystem b(small_config());
+  a.step(100);
+  b.step(100);
+  EXPECT_DOUBLE_EQ(a.observe().total(), b.observe().total());
+}
+
+TEST(LjSystem, CheckpointRestartReproducesTrajectory) {
+  LjSystem sys(small_config());
+  sys.step(50);
+  auto cp = sys.checkpoint();
+  sys.step(100);
+  const double e_ref = sys.observe().total();
+  sys.restore(cp);
+  sys.step(100);
+  EXPECT_DOUBLE_EQ(sys.observe().total(), e_ref);
+}
+
+TEST(LjSystem, RescaleSetsTemperatureExactly) {
+  LjSystem sys(small_config());
+  sys.step(20);
+  sys.rescale_to(1.3);
+  EXPECT_NEAR(sys.observe().temperature, 1.3, 1e-9);
+}
+
+TEST(LjSystem, RejectsBadConfigs) {
+  LjConfig c = small_config();
+  c.particles = 0;
+  EXPECT_THROW(LjSystem{c}, std::invalid_argument);
+  c = small_config();
+  c.particles = 8;  // box too small for the 2.5 cutoff
+  EXPECT_THROW(LjSystem{c}, std::invalid_argument);
+}
+
+TEST(TemperatureLadder, GeometricSpacing) {
+  auto l = temperature_ladder(0.7, 1.4, 8);
+  ASSERT_EQ(l.size(), 8u);
+  EXPECT_DOUBLE_EQ(l.front(), 0.7);
+  EXPECT_NEAR(l.back(), 1.4, 1e-12);
+  // Constant neighbour ratio.
+  const double r0 = l[1] / l[0];
+  for (std::size_t i = 1; i + 1 < l.size(); ++i) {
+    EXPECT_NEAR(l[i + 1] / l[i], r0, 1e-12);
+  }
+}
+
+TEST(TemperatureLadder, RejectsNonsense) {
+  EXPECT_THROW(temperature_ladder(1.0, 0.5, 4), std::invalid_argument);
+  EXPECT_THROW(temperature_ladder(0.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(temperature_ladder(1.0, 2.0, 0), std::invalid_argument);
+}
+
+TEST(ExchangeCriterion, FavourableSwapsAlwaysAccepted) {
+  // The cold replica (ti=1.0) sits at a HIGHER energy than the hot one:
+  // swapping moves each toward its temperature's typical energy, so
+  // delta = (1/ti - 1/tj)(ei - ej) >= 0 and p = 1.
+  EXPECT_DOUBLE_EQ(exchange_probability(/*ei=*/-100.0, /*ej=*/-120.0,
+                                        /*ti=*/1.0, /*tj=*/1.2),
+                   1.0);
+}
+
+TEST(ExchangeCriterion, UnfavourableSwapsExponentiallySuppressed) {
+  // Cold replica already at low energy: the swap is uphill.
+  const double p = exchange_probability(-120.0, -100.0, 1.0, 1.2);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 1.0);
+  // Larger energy gap -> smaller probability.
+  EXPECT_LT(exchange_probability(-160.0, -100.0, 1.0, 1.2), p);
+}
+
+TEST(ExchangeCriterion, SameTemperatureAlwaysAccepts) {
+  EXPECT_DOUBLE_EQ(exchange_probability(-100, -120, 1.0, 1.0), 1.0);
+}
+
+TEST(ReplicaExchange, RunsAndAcceptsSomeSwaps) {
+  ReplicaExchange::Config c;
+  c.system = small_config();
+  c.replicas = 6;
+  c.steps_per_segment = 25;
+  ReplicaExchange rem(c);
+  for (int i = 0; i < 12; ++i) rem.run_round();
+  EXPECT_EQ(rem.rounds_completed(), 12u);
+  EXPECT_GT(rem.attempted(), 0u);
+  // With a sane ladder the acceptance rate is neither 0 nor 1.
+  EXPECT_GT(rem.acceptance_rate(), 0.02);
+  EXPECT_LT(rem.acceptance_rate(), 0.999);
+}
+
+TEST(ReplicaExchange, SlotPermutationStaysValid) {
+  ReplicaExchange::Config c;
+  c.system = small_config();
+  c.replicas = 6;
+  c.steps_per_segment = 10;
+  ReplicaExchange rem(c);
+  for (int i = 0; i < 8; ++i) rem.run_round();
+  auto perm = rem.slot_to_replica();
+  std::sort(perm.begin(), perm.end());
+  for (std::size_t i = 0; i < perm.size(); ++i) EXPECT_EQ(perm[i], i);
+}
+
+TEST(ReplicaExchange, LadderTemperaturesAreMaintained) {
+  ReplicaExchange::Config c;
+  c.system = small_config();
+  c.replicas = 4;
+  c.steps_per_segment = 20;
+  ReplicaExchange rem(c);
+  for (int i = 0; i < 6; ++i) rem.run_round();
+  // Each slot's instantaneous temperature should be near its ladder rung
+  // (NVE drifts a bit between rescales; allow generous slack).
+  for (std::size_t s = 0; s < 4; ++s) {
+    const double t = rem.observe(s).temperature;
+    EXPECT_GT(t, rem.temperatures()[s] * 0.5);
+    EXPECT_LT(t, rem.temperatures()[s] * 2.0);
+  }
+}
+
+TEST(Analysis, RdfShowsLiquidStructure) {
+  LjConfig c = small_config();
+  c.particles = 256;
+  LjSystem sys(c);
+  sys.step(300);  // equilibrate
+  auto g = radial_distribution(sys, 3.0, 60);
+  ASSERT_EQ(g.size(), 60u);
+  // Hard core: essentially no pairs below ~0.85 sigma.
+  for (std::size_t b = 0; b < 16; ++b) EXPECT_LT(g[b], 0.1) << b;
+  // First solvation peak near 1.1 sigma, well above 1.
+  double peak = 0;
+  for (std::size_t b = 18; b < 30; ++b) peak = std::max(peak, g[b]);
+  EXPECT_GT(peak, 1.5);
+  // Long range decorrelates toward 1.
+  double tail = 0;
+  for (std::size_t b = 50; b < 60; ++b) tail += g[b];
+  EXPECT_NEAR(tail / 10.0, 1.0, 0.35);
+}
+
+TEST(Analysis, RdfRejectsBadArguments) {
+  LjSystem sys(small_config());
+  EXPECT_THROW(radial_distribution(sys, 0.0, 10), std::invalid_argument);
+  EXPECT_THROW(radial_distribution(sys, 2.0, 0), std::invalid_argument);
+}
+
+TEST(Analysis, MsdGrowsInALiquid) {
+  LjConfig c = small_config();
+  LjSystem sys(c);
+  sys.step(100);
+  MsdTracker tracker(sys);
+  double prev = 0;
+  for (int i = 0; i < 10; ++i) {
+    sys.step(20);
+    tracker.sample(sys);
+  }
+  const double mid = tracker.msd();
+  for (int i = 0; i < 10; ++i) {
+    sys.step(20);
+    tracker.sample(sys);
+  }
+  EXPECT_GT(mid, prev);
+  EXPECT_GT(tracker.msd(), mid);  // monotone-ish growth: diffusion
+  EXPECT_GT(tracker.diffusion(400 * c.dt), 0.0);
+  EXPECT_EQ(tracker.samples(), 20u);
+}
+
+TEST(Analysis, VelocityVarianceTracksTemperature) {
+  LjConfig c = small_config();
+  c.particles = 500;
+  LjSystem sys(c);
+  sys.rescale_to(1.2);
+  // Variance of each component equals T in reduced units.
+  EXPECT_NEAR(velocity_variance(sys), 1.2, 0.1);
+}
+
+TEST(Analysis, VelocityHistogramIsSymmetricAndPeaked) {
+  LjConfig c = small_config();
+  c.particles = 500;
+  LjSystem sys(c);
+  sys.step(100);
+  auto h = velocity_histogram(sys, 4.0, 16);
+  ASSERT_EQ(h.size(), 16u);
+  std::size_t total = 0, center = 0;
+  for (std::size_t b = 0; b < h.size(); ++b) {
+    total += h[b];
+    if (b >= 6 && b < 10) center += h[b];
+  }
+  EXPECT_EQ(total, 3u * 500u);
+  // The bulk of the mass sits near zero velocity.
+  EXPECT_GT(static_cast<double>(center) / static_cast<double>(total), 0.5);
+}
+
+}  // namespace
+}  // namespace jets::md

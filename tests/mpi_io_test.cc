@@ -1,0 +1,150 @@
+// Tests for MPI-IO-style collective writes and the shared-filesystem
+// client/contention model behind the paper's §1.2 argument.
+#include <gtest/gtest.h>
+
+#include "mpi/comm.hh"
+#include "testbed.hh"
+
+namespace jets::mpi {
+namespace {
+
+using os::Env;
+using sim::Task;
+using test::TestBed;
+
+std::vector<os::NodeId> hosts(int n) {
+  std::vector<os::NodeId> h;
+  for (int i = 0; i < n; ++i) h.push_back(static_cast<os::NodeId>(i));
+  return h;
+}
+
+TEST(MpiIo, WriteAllProducesOneFileWithAllBytes) {
+  TestBed bed(os::Machine::breadboard(4));
+  bed.install_app("wa", [](Env& env) -> Task<void> {
+    auto comm = co_await Comm::init(env);
+    co_await comm->write_all("/gpfs/out", 1000);
+    co_await comm->finalize();
+  });
+  pmi::MpiexecSpec spec;
+  spec.user_argv = {"wa"};
+  spec.nprocs = 4;
+  auto mpx = bed.launch_manual(spec, hosts(4));
+  ASSERT_EQ(bed.run_to_completion(*mpx), 0);
+  EXPECT_EQ(bed.machine.shared_fs().size("/gpfs/out"),
+            std::optional<std::uint64_t>(4000));
+}
+
+TEST(MpiIo, WriteAllIsCollectiveNobodyReturnsBeforeDurable) {
+  TestBed bed(os::Machine::breadboard(4));
+  std::vector<double> return_times;
+  bed.install_app("wa", [&return_times](Env& env) -> Task<void> {
+    auto comm = co_await Comm::init(env);
+    co_await comm->write_all("/gpfs/out", 500'000);
+    return_times.push_back(comm->wtime());
+    co_await comm->finalize();
+  });
+  pmi::MpiexecSpec spec;
+  spec.user_argv = {"wa"};
+  spec.nprocs = 4;
+  auto mpx = bed.launch_manual(spec, hosts(4));
+  ASSERT_EQ(bed.run_to_completion(*mpx), 0);
+  ASSERT_EQ(return_times.size(), 4u);
+  // The file must exist with full size, and no rank may return before the
+  // aggregate data could possibly have been written (2 MB at fs speed).
+  EXPECT_EQ(bed.machine.shared_fs().size("/gpfs/out"),
+            std::optional<std::uint64_t>(2'000'000));
+  const double min_write_s = 2'000'000 / 1.5e9;  // breadboard fs bandwidth
+  for (double t : return_times) EXPECT_GT(t, min_write_s);
+}
+
+TEST(MpiIo, WriteIndependentCreatesPerRankFiles) {
+  TestBed bed(os::Machine::breadboard(4));
+  bed.install_app("wi", [](Env& env) -> Task<void> {
+    auto comm = co_await Comm::init(env);
+    co_await comm->write_independent("/gpfs/chunk", 100);
+    co_await comm->finalize();
+  });
+  pmi::MpiexecSpec spec;
+  spec.user_argv = {"wi"};
+  spec.nprocs = 3;
+  auto mpx = bed.launch_manual(spec, hosts(3));
+  ASSERT_EQ(bed.run_to_completion(*mpx), 0);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_TRUE(bed.machine.shared_fs().exists("/gpfs/chunk." + std::to_string(r)));
+  }
+}
+
+TEST(MpiIo, SingleRankWriteAllDegeneratesToPlainWrite) {
+  TestBed bed(os::Machine::breadboard(2));
+  bed.install_app("wa1", [](Env& env) -> Task<void> {
+    auto comm = co_await Comm::init(env);
+    co_await comm->write_all("/gpfs/solo", 777);
+    co_await comm->finalize();
+  });
+  pmi::MpiexecSpec spec;
+  spec.user_argv = {"wa1"};
+  spec.nprocs = 1;
+  auto mpx = bed.launch_manual(spec, hosts(1));
+  ASSERT_EQ(bed.run_to_completion(*mpx), 0);
+  EXPECT_EQ(bed.machine.shared_fs().size("/gpfs/solo"),
+            std::optional<std::uint64_t>(777));
+}
+
+}  // namespace
+}  // namespace jets::mpi
+
+namespace jets::os {
+namespace {
+
+TEST(SharedFsClients, MetadataLatencyGrowsWithClientLoad) {
+  sim::Engine e;
+  SharedFs fs(e, sim::milliseconds(5), 1e9);
+  // 32 concurrent small writes: the later phases see loaded latency.
+  std::vector<double> durations;
+  for (int i = 0; i < 32; ++i) {
+    e.spawn("w", [](sim::Engine& e, SharedFs& fs, int i,
+                    std::vector<double>& out) -> sim::Task<void> {
+      const double t0 = sim::to_seconds(e.now());
+      co_await fs.write("/f" + std::to_string(i), 100);
+      out.push_back(sim::to_seconds(e.now()) - t0);
+    }(e, fs, i, durations));
+  }
+  e.run();
+  ASSERT_EQ(durations.size(), 32u);
+  // With 32 concurrent clients the metadata op costs ~5ms*(1+32/16) = 15ms,
+  // vs 5ms solo.
+  sim::Summary s;
+  for (double d : durations) s.add(d);
+  EXPECT_GT(s.mean(), 0.010);
+  EXPECT_EQ(fs.active_clients(), 0u);
+}
+
+TEST(SharedFsClients, SoloClientPaysBaseLatency) {
+  sim::Engine e;
+  SharedFs fs(e, sim::milliseconds(5), 1e9);
+  double d = 0;
+  e.spawn("w", [](sim::Engine& e, SharedFs& fs, double& d) -> sim::Task<void> {
+    const double t0 = sim::to_seconds(e.now());
+    co_await fs.write("/f", 100);
+    d = sim::to_seconds(e.now()) - t0;
+  }(e, fs, d));
+  e.run();
+  EXPECT_NEAR(d, 0.005, 0.002);
+}
+
+TEST(SharedFsClients, KilledClientDeregisters) {
+  sim::Engine e;
+  SharedFs fs(e, sim::seconds(1), 1e3);  // glacial: easy to kill mid-op
+  auto victim = e.spawn("w", [](SharedFs& fs) -> sim::Task<void> {
+    co_await fs.write("/slow", 100'000);
+  }(fs));
+  e.call_at(sim::milliseconds(100), [&] {
+    EXPECT_EQ(fs.active_clients(), 1u);
+    e.kill(victim);
+  });
+  e.run();
+  EXPECT_EQ(fs.active_clients(), 0u);  // the guard ran in frame teardown
+}
+
+}  // namespace
+}  // namespace jets::os

@@ -1,0 +1,224 @@
+// Unit tests for fabric models and the simulated socket layer.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/fabric.hh"
+#include "net/socket.hh"
+#include "sim/sim.hh"
+
+namespace jets::net {
+namespace {
+
+using sim::Engine;
+using sim::Task;
+using sim::Time;
+
+TEST(TorusShape, HopCounts) {
+  TorusShape s{8, 8, 16};
+  EXPECT_EQ(s.size(), 1024u);
+  EXPECT_EQ(s.hops(0, 0), 0u);
+  EXPECT_EQ(s.hops(0, 1), 1u);      // +1 in x
+  EXPECT_EQ(s.hops(0, 7), 1u);      // x wraps: distance 1 the short way
+  EXPECT_EQ(s.hops(0, 8), 1u);      // +1 in y
+  EXPECT_EQ(s.hops(0, 64), 1u);     // +1 in z
+  EXPECT_EQ(s.hops(0, 64 * 8), 8u); // z=8 is the farthest ring point (16/2)
+  EXPECT_EQ(s.hops(3, 3), 0u);
+  // Symmetry.
+  EXPECT_EQ(s.hops(17, 903), s.hops(903, 17));
+}
+
+TEST(Fabric, EthernetTransferTime) {
+  EthernetFabric f(sim::microseconds(60), 125e6);
+  // 125 MB at 125 MB/s = 1 s (+60 us latency).
+  EXPECT_EQ(f.transfer_time(0, 1, 125'000'000),
+            sim::microseconds(60) + sim::seconds(1));
+  // Loopback is cheaper than the wire.
+  EXPECT_LT(f.transfer_time(0, 0, 1000), f.transfer_time(0, 1, 1000));
+}
+
+TEST(Fabric, TorusTcpLatencyDwarfsNative) {
+  TorusShape shape{8, 8, 16};
+  TorusTcpFabric tcp(shape);
+  TorusNativeFabric native(shape);
+  // The ZeptoOS TCP path should be orders of magnitude slower for small
+  // messages (Fig 8).
+  EXPECT_GT(tcp.latency(0, 1), 50 * native.latency(0, 1));
+  // Large-message bandwidth is only mildly lower.
+  const double ratio =
+      sim::to_seconds(tcp.serialization_time(1 << 22)) /
+      sim::to_seconds(native.serialization_time(1 << 22));
+  EXPECT_GT(ratio, 1.0);
+  EXPECT_LT(ratio, 4.0);
+}
+
+TEST(Message, WireSizeCountsFieldsAndPayload) {
+  Message m("task", {"namd2.sh", "in.pdb"}, 1000);
+  EXPECT_GT(m.wire_size(), 1000u);
+  EXPECT_LT(m.wire_size(), 1100u);
+  Message empty;
+  EXPECT_GT(empty.wire_size(), 0u);
+}
+
+class SocketTest : public ::testing::Test {
+ protected:
+  Engine engine;
+  Network net{engine, std::make_shared<EthernetFabric>()};
+};
+
+TEST_F(SocketTest, ConnectAcceptRoundTrip) {
+  auto listener = net.listen({1, 5000});
+  std::string got;
+  engine.spawn("server", [](Listener& l, std::string& got) -> Task<void> {
+    SocketPtr s = co_await l.accept();
+    EXPECT_NE(s, nullptr);
+    auto m = co_await s->recv();
+    EXPECT_TRUE(m.has_value());
+    if (m) got = m->tag;
+    s->send(Message("pong"));
+  }(*listener, got));
+  bool ponged = false;
+  engine.spawn("client", [](Network& net, bool& ponged) -> Task<void> {
+    SocketPtr s = co_await net.connect(0, {1, 5000});
+    s->send(Message("ping"));
+    auto m = co_await s->recv();
+    ponged = m.has_value() && m->tag == "pong";
+  }(net, ponged));
+  engine.run();
+  EXPECT_EQ(got, "ping");
+  EXPECT_TRUE(ponged);
+  EXPECT_GT(engine.now(), 0);  // wire time elapsed
+}
+
+TEST_F(SocketTest, ConnectionRefusedWithoutListener) {
+  bool refused = false;
+  engine.spawn("client", [](Network& net, bool& refused) -> Task<void> {
+    try {
+      (void)co_await net.connect(0, {1, 9999});
+    } catch (const ConnectError&) {
+      refused = true;
+    }
+  }(net, refused));
+  engine.run();
+  EXPECT_TRUE(refused);
+}
+
+TEST_F(SocketTest, MessagesArriveInOrder) {
+  auto listener = net.listen({1, 5000});
+  std::vector<int> got;
+  engine.spawn("server", [](Listener& l, std::vector<int>& got) -> Task<void> {
+    SocketPtr s = co_await l.accept();
+    for (;;) {
+      auto m = co_await s->recv();
+      if (!m) break;
+      got.push_back(std::stoi(m->args[0]));
+    }
+  }(*listener, got));
+  engine.spawn("client", [](Network& net) -> Task<void> {
+    SocketPtr s = co_await net.connect(0, {1, 5000});
+    // A large message first, small ones after: FIFO must still hold.
+    s->send(Message("m", {"0"}, 10'000'000));
+    for (int i = 1; i < 5; ++i) s->send(Message("m", {std::to_string(i)}));
+  }(net));
+  engine.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST_F(SocketTest, CloseDeliversEofAfterPendingData) {
+  auto listener = net.listen({1, 5000});
+  std::vector<std::string> got;
+  bool eof = false;
+  engine.spawn("server", [](Listener& l, std::vector<std::string>& got,
+                            bool& eof) -> Task<void> {
+    SocketPtr s = co_await l.accept();
+    for (;;) {
+      auto m = co_await s->recv();
+      if (!m) {
+        eof = true;
+        break;
+      }
+      got.push_back(m->tag);
+    }
+  }(*listener, got, eof));
+  engine.spawn("client", [](Network& net) -> Task<void> {
+    SocketPtr s = co_await net.connect(0, {1, 5000});
+    s->send(Message("a"));
+    s->send(Message("b"));
+    s->close();
+  }(net));
+  engine.run();
+  EXPECT_EQ(got, (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(eof);
+}
+
+TEST_F(SocketTest, KilledPeerProducesEof) {
+  auto listener = net.listen({1, 5000});
+  bool server_saw_eof = false;
+  Time eof_at = -1;
+  engine.spawn("server", [](Engine& e, Listener& l, bool& eof, Time& at) -> Task<void> {
+    SocketPtr s = co_await l.accept();
+    auto m = co_await s->recv();
+    eof = !m.has_value();
+    at = e.now();
+  }(engine, *listener, server_saw_eof, eof_at));
+  sim::ActorId client = engine.spawn("client", [](Network& net) -> Task<void> {
+    SocketPtr s = co_await net.connect(0, {1, 5000});
+    co_await sim::delay(sim::seconds(100));  // hold the socket, send nothing
+    s->send(Message("never"));
+  }(net));
+  engine.call_at(sim::seconds(3), [&] { engine.kill(client); });
+  engine.run();
+  EXPECT_TRUE(server_saw_eof);
+  EXPECT_GE(eof_at, sim::seconds(3));
+  EXPECT_LT(eof_at, sim::seconds(4));
+}
+
+TEST_F(SocketTest, RecvForTimesOutOnSilentPeer) {
+  auto listener = net.listen({1, 5000});
+  bool timed_out = false;
+  engine.spawn("server", [](Listener& l, bool& timed_out) -> Task<void> {
+    SocketPtr s = co_await l.accept();
+    auto m = co_await s->recv_for(sim::seconds(2));
+    timed_out = !m.has_value() && !s->eof();
+  }(*listener, timed_out));
+  engine.spawn("client", [](Network& net) -> Task<void> {
+    SocketPtr s = co_await net.connect(0, {1, 5000});
+    co_await sim::delay(sim::seconds(50));  // keep alive, stay silent
+    s->close();
+  }(net));
+  engine.run();
+  EXPECT_TRUE(timed_out);
+}
+
+TEST_F(SocketTest, ListenerCloseUnbindsPort) {
+  {
+    auto listener = net.listen({1, 5000});
+    EXPECT_EQ(net.listener_count(), 1u);
+    EXPECT_THROW((void)net.listen({1, 5000}), std::invalid_argument);
+  }
+  EXPECT_EQ(net.listener_count(), 0u);
+  auto rebound = net.listen({1, 5000});
+  EXPECT_EQ(net.listener_count(), 1u);
+}
+
+TEST_F(SocketTest, SendSyncWaitsForSerialization) {
+  auto listener = net.listen({1, 5000});
+  engine.spawn("server", [](Listener& l) -> Task<void> {
+    SocketPtr s = co_await l.accept();
+    (void)co_await s->recv();
+  }(*listener));
+  Time sent_done = -1;
+  engine.spawn("client", [](Engine& e, Network& net, Time& done) -> Task<void> {
+    SocketPtr s = co_await net.connect(0, {1, 5000});
+    // 125 MB at 125 MB/s = 1 s of wire occupancy.
+    co_await s->send_sync(Message("bulk", {}, 125'000'000));
+    done = e.now();
+  }(engine, net, sent_done));
+  engine.run();
+  EXPECT_GE(sent_done, sim::seconds(1));
+  EXPECT_LT(sent_done, sim::seconds(1) + sim::milliseconds(10));
+}
+
+}  // namespace
+}  // namespace jets::net

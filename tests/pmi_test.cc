@@ -1,0 +1,269 @@
+// Tests for the PMI key-value space and the Hydra mpiexec/proxy machinery,
+// including the JETS-contributed launcher=manual bootstrap.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "pmi/client.hh"
+#include "pmi/hydra.hh"
+#include "pmi/kvs.hh"
+#include "testbed.hh"
+
+namespace jets::pmi {
+namespace {
+
+using os::Env;
+using sim::Task;
+using test::TestBed;
+
+TEST(KeyValueSpace, GetBlocksUntilPut) {
+  sim::Engine e;
+  KeyValueSpace kvs(e);
+  std::string got;
+  sim::Time got_at = -1;
+  e.spawn("getter", [](sim::Engine& e, KeyValueSpace& kvs, std::string& got,
+                       sim::Time& at) -> Task<void> {
+    got = co_await kvs.get("card.0");
+    at = e.now();
+  }(e, kvs, got, got_at));
+  e.call_at(sim::seconds(2), [&] { kvs.put("card.0", "node:port"); });
+  e.run();
+  EXPECT_EQ(got, "node:port");
+  EXPECT_EQ(got_at, sim::seconds(2));
+}
+
+TEST(KeyValueSpace, ImmediateGetWhenPresent) {
+  sim::Engine e;
+  KeyValueSpace kvs(e);
+  kvs.put("k", "v");
+  EXPECT_TRUE(kvs.contains("k"));
+  std::string got;
+  e.spawn("getter", [](KeyValueSpace& kvs, std::string& got) -> Task<void> {
+    got = co_await kvs.get("k");
+  }(kvs, got));
+  e.run();
+  EXPECT_EQ(got, "v");
+}
+
+TEST(Mpiexec, ProxyCommandsFollowManualLauncherShape) {
+  TestBed bed(os::Machine::breadboard(8));
+  MpiexecSpec spec;
+  spec.user_argv = {"noop"};
+  spec.nprocs = 6;
+  spec.ranks_per_proxy = 2;
+  Mpiexec mpx(bed.machine, bed.apps, bed.machine.login_node(), spec);
+  mpx.start();
+  auto cmds = mpx.proxy_commands();
+  ASSERT_EQ(cmds.size(), 3u);  // ceil(6/2)
+  for (std::size_t k = 0; k < cmds.size(); ++k) {
+    EXPECT_EQ(cmds[k][0], kProxyBinary);
+    EXPECT_EQ(cmds[k][1], "--control-addr");
+    EXPECT_EQ(cmds[k][4], "--proxy-id");
+    EXPECT_EQ(cmds[k][5], std::to_string(k));
+  }
+}
+
+TEST(Mpiexec, RejectsBadSpecs) {
+  TestBed bed(os::Machine::breadboard(4));
+  MpiexecSpec bad;
+  bad.user_argv = {};
+  bad.nprocs = 2;
+  EXPECT_THROW(Mpiexec(bed.machine, bed.apps, 0, bad), std::invalid_argument);
+  bad.user_argv = {"x"};
+  bad.nprocs = 0;
+  EXPECT_THROW(Mpiexec(bed.machine, bed.apps, 0, bad), std::invalid_argument);
+}
+
+TEST(Mpiexec, ManualLaunchRunsAllRanksToCompletion) {
+  TestBed bed(os::Machine::breadboard(8));
+  int ran = 0;
+  bed.install_app("count_app", [&ran](Env& env) -> Task<void> {
+    EXPECT_FALSE(env.var("PMI_RANK").empty());
+    EXPECT_EQ(env.var("PMI_SIZE"), "4");
+    ++ran;
+    co_return;
+  });
+  MpiexecSpec spec;
+  spec.user_argv = {"count_app"};
+  spec.nprocs = 4;
+  auto mpx = bed.launch_manual(spec, {0, 1, 2, 3});
+  EXPECT_EQ(bed.run_to_completion(*mpx), 0);
+  EXPECT_EQ(ran, 4);
+}
+
+TEST(Mpiexec, MultipleRanksPerProxyShareTheNode) {
+  TestBed bed(os::Machine::breadboard(4));
+  std::vector<os::NodeId> rank_nodes;
+  bed.install_app("where_app", [&rank_nodes](Env& env) -> Task<void> {
+    rank_nodes.push_back(env.node);
+    co_return;
+  });
+  MpiexecSpec spec;
+  spec.user_argv = {"where_app"};
+  spec.nprocs = 8;
+  spec.ranks_per_proxy = 4;
+  auto mpx = bed.launch_manual(spec, {0, 1});
+  EXPECT_EQ(bed.run_to_completion(*mpx), 0);
+  ASSERT_EQ(rank_nodes.size(), 8u);
+  int on0 = 0, on1 = 0;
+  for (auto n : rank_nodes) (n == 0 ? on0 : on1)++;
+  EXPECT_EQ(on0, 4);
+  EXPECT_EQ(on1, 4);
+}
+
+TEST(Mpiexec, UserEnvironmentReachesRanks) {
+  TestBed bed(os::Machine::breadboard(4));
+  std::string seen;
+  bed.install_app("env_app", [&seen](Env& env) -> Task<void> {
+    seen = env.var("JETS_JOB_ID");
+    co_return;
+  });
+  MpiexecSpec spec;
+  spec.user_argv = {"env_app"};
+  spec.nprocs = 1;
+  spec.user_vars["JETS_JOB_ID"] = "job-42";
+  auto mpx = bed.launch_manual(spec, {0});
+  EXPECT_EQ(bed.run_to_completion(*mpx), 0);
+  EXPECT_EQ(seen, "job-42");
+}
+
+TEST(Mpiexec, SshLauncherBaselineWorksButPaysPerHostCost) {
+  TestBed bed(os::Machine::breadboard(8));
+  int ran = 0;
+  bed.install_app("noop", [&ran](Env&) -> Task<void> {
+    ++ran;
+    co_return;
+  });
+  MpiexecSpec spec;
+  spec.user_argv = {"noop"};
+  spec.nprocs = 4;
+  Mpiexec mpx(bed.machine, bed.apps, bed.machine.login_node(), spec);
+  mpx.start();
+  mpx.launch_via_ssh({0, 1, 2, 3}, sim::milliseconds(300));
+  EXPECT_EQ(bed.run_to_completion(mpx), 0);
+  EXPECT_EQ(ran, 4);
+  // 4 sequential ssh setups at 300 ms each bound the job from below.
+  EXPECT_GE(bed.engine.now(), sim::milliseconds(1200));
+}
+
+TEST(Mpiexec, PmiPutGetAcrossRanks) {
+  TestBed bed(os::Machine::breadboard(4));
+  std::string fetched;
+  bed.install_app("kvs_app", [&fetched](Env& env) -> Task<void> {
+    const int rank = std::stoi(env.var("PMI_RANK"));
+    if (rank == 0) {
+      env.pmi->put("greeting", "hello-from-0");
+    } else {
+      fetched = co_await env.pmi->get("greeting");
+    }
+    co_await env.pmi->barrier();
+  });
+  MpiexecSpec spec;
+  spec.user_argv = {"kvs_app"};
+  spec.nprocs = 2;
+  auto mpx = bed.launch_manual(spec, {0, 1});
+  EXPECT_EQ(bed.run_to_completion(*mpx), 0);
+  EXPECT_EQ(fetched, "hello-from-0");
+}
+
+TEST(Mpiexec, PmiBarrierSynchronizesRanks) {
+  TestBed bed(os::Machine::breadboard(4));
+  sim::Time rank0_after = -1;
+  bed.install_app("bar_app", [&](Env& env) -> Task<void> {
+    const int rank = std::stoi(env.var("PMI_RANK"));
+    if (rank == 1) co_await sim::delay(sim::seconds(5));  // straggler
+    co_await env.pmi->barrier();
+    if (rank == 0) rank0_after = env.machine->engine().now();
+  });
+  MpiexecSpec spec;
+  spec.user_argv = {"bar_app"};
+  spec.nprocs = 2;
+  auto mpx = bed.launch_manual(spec, {0, 1});
+  EXPECT_EQ(bed.run_to_completion(*mpx), 0);
+  EXPECT_GE(rank0_after, sim::seconds(5));  // rank 0 waited for the straggler
+}
+
+TEST(Mpiexec, StdoutIsRoutedAndCounted) {
+  TestBed bed(os::Machine::breadboard(4));
+  bed.install_app("chatty", [](Env& env) -> Task<void> {
+    env.write_stdout(11'000);  // ~11 KB like a NAMD run (§6.1.6)
+    co_return;
+  });
+  MpiexecSpec spec;
+  spec.user_argv = {"chatty"};
+  spec.nprocs = 3;
+  auto mpx = bed.launch_manual(spec, {0, 1, 2});
+  EXPECT_EQ(bed.run_to_completion(*mpx), 0);
+  EXPECT_EQ(mpx->stdout_bytes(), 33'000u);
+}
+
+TEST(Mpiexec, DeadProxyIsReportedAsFailure) {
+  TestBed bed(os::Machine::breadboard(4));
+  bed.install_app("sleepy", [](Env&) -> Task<void> {
+    co_await sim::delay(sim::seconds(50));
+  });
+  MpiexecSpec spec;
+  spec.user_argv = {"sleepy"};
+  spec.nprocs = 2;
+  auto mpx = std::make_unique<Mpiexec>(bed.machine, bed.apps,
+                                       bed.machine.login_node(), spec);
+  mpx->start();
+  auto cmds = mpx->proxy_commands();
+  // Run proxies as tracked processes so we can kill one (a "worker fault").
+  std::vector<os::Machine::Pid> pids;
+  for (std::size_t k = 0; k < cmds.size(); ++k) {
+    os::ExecOptions opts;
+    opts.binary = kProxyBinary;
+    pids.push_back(os::run_command(bed.machine, bed.apps,
+                                   static_cast<os::NodeId>(k), cmds[k], {},
+                                   std::move(opts)));
+  }
+  bed.engine.call_at(sim::seconds(2), [&] { bed.machine.kill(pids[1]); });
+  const int rc = bed.run_to_completion(*mpx);
+  EXPECT_NE(rc, 0);
+}
+
+TEST(Mpiexec, FailedRankProducesNonzeroExit) {
+  TestBed bed(os::Machine::breadboard(4));
+  bed.install_app("crasher", [](Env& env) -> Task<void> {
+    if (env.var("PMI_RANK") == "1") throw std::runtime_error("segfault");
+    co_return;
+  });
+  MpiexecSpec spec;
+  spec.user_argv = {"crasher"};
+  spec.nprocs = 2;
+  auto mpx = bed.launch_manual(spec, {0, 1});
+  EXPECT_NE(bed.run_to_completion(*mpx), 0);
+}
+
+TEST(Mpiexec, ManyConcurrentJobsCoexist) {
+  TestBed bed(os::Machine::breadboard(16));
+  int ran = 0;
+  bed.install_app("noop", [&ran](Env&) -> Task<void> {
+    ++ran;
+    co_return;
+  });
+  std::vector<std::unique_ptr<Mpiexec>> jobs;
+  for (int j = 0; j < 8; ++j) {
+    MpiexecSpec spec;
+    spec.user_argv = {"noop"};
+    spec.nprocs = 2;
+    jobs.push_back(std::make_unique<Mpiexec>(bed.machine, bed.apps,
+                                             bed.machine.login_node(), spec));
+    jobs.back()->start();
+    auto cmds = jobs.back()->proxy_commands();
+    for (std::size_t k = 0; k < cmds.size(); ++k) {
+      bed.run_proxy(static_cast<os::NodeId>((2 * j + k) % 16), cmds[k]);
+    }
+  }
+  int failures = 0;
+  for (auto& job : jobs) {
+    if (bed.run_to_completion(*job) != 0) ++failures;
+  }
+  EXPECT_EQ(failures, 0);
+  EXPECT_EQ(ran, 16);
+}
+
+}  // namespace
+}  // namespace jets::pmi

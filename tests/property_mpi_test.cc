@@ -1,0 +1,126 @@
+// Parameterized MPI correctness: barriers and ring communication across a
+// sweep of job sizes and PPN values — the configurations the paper's
+// evaluation exercises (4/8/64-proc tasks, PPN 1..8).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "mpi/comm.hh"
+#include "testbed.hh"
+
+namespace jets::mpi {
+namespace {
+
+using os::Env;
+using sim::Task;
+using test::TestBed;
+
+class MpiSweepTest
+    : public ::testing::TestWithParam<std::tuple<int /*nprocs*/, int /*ppn*/>> {};
+
+TEST_P(MpiSweepTest, BarrierReleasesEveryoneTogether) {
+  const auto [nprocs, ppn] = GetParam();
+  const int hosts_needed = (nprocs + ppn - 1) / ppn;
+  TestBed bed(os::Machine::breadboard(static_cast<std::size_t>(hosts_needed)));
+  std::vector<double> exits;
+  bed.install_app("bar", [&exits](Env& env) -> Task<void> {
+    auto comm = co_await Comm::init(env);
+    // Stagger arrivals so the barrier actually holds someone back.
+    co_await sim::delay(sim::milliseconds(100) * comm->rank());
+    co_await comm->barrier();
+    exits.push_back(comm->wtime());
+    co_await comm->finalize();
+  });
+  pmi::MpiexecSpec spec;
+  spec.user_argv = {"bar"};
+  spec.nprocs = nprocs;
+  spec.ranks_per_proxy = ppn;
+  std::vector<os::NodeId> hosts;
+  for (int i = 0; i < hosts_needed; ++i) hosts.push_back(static_cast<os::NodeId>(i));
+  auto mpx = bed.launch_manual(spec, hosts);
+  ASSERT_EQ(bed.run_to_completion(*mpx), 0);
+  ASSERT_EQ(exits.size(), static_cast<std::size_t>(nprocs));
+  const double slowest_arrival = 0.1 * (nprocs - 1);
+  for (double t : exits) {
+    EXPECT_GE(t, slowest_arrival);                 // nobody leaves early
+    EXPECT_LT(t, slowest_arrival + 0.5);           // everyone leaves soon after
+  }
+}
+
+TEST_P(MpiSweepTest, RingPassDeliversPayloadAroundTheWorld) {
+  const auto [nprocs, ppn] = GetParam();
+  if (nprocs < 2) GTEST_SKIP();
+  const int hosts_needed = (nprocs + ppn - 1) / ppn;
+  TestBed bed(os::Machine::breadboard(static_cast<std::size_t>(hosts_needed)));
+  int rings_completed = 0;
+  bed.install_app("ring", [&rings_completed](Env& env) -> Task<void> {
+    auto comm = co_await Comm::init(env);
+    const int next = (comm->rank() + 1) % comm->size();
+    const int prev = (comm->rank() - 1 + comm->size()) % comm->size();
+    constexpr std::size_t kBytes = 4096;
+    if (comm->rank() == 0) {
+      co_await comm->send(next, kBytes, /*tag=*/1);
+      RecvResult r = co_await comm->recv(prev);
+      EXPECT_EQ(r.bytes, kBytes);
+      EXPECT_EQ(r.tag, 1);
+      ++rings_completed;
+    } else {
+      RecvResult r = co_await comm->recv(prev);
+      EXPECT_EQ(r.bytes, kBytes);
+      co_await comm->send(next, r.bytes, r.tag);
+    }
+    co_await comm->finalize();
+  });
+  pmi::MpiexecSpec spec;
+  spec.user_argv = {"ring"};
+  spec.nprocs = nprocs;
+  spec.ranks_per_proxy = ppn;
+  std::vector<os::NodeId> hosts;
+  for (int i = 0; i < hosts_needed; ++i) hosts.push_back(static_cast<os::NodeId>(i));
+  auto mpx = bed.launch_manual(spec, hosts);
+  ASSERT_EQ(bed.run_to_completion(*mpx), 0);
+  EXPECT_EQ(rings_completed, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndPpn, MpiSweepTest,
+    ::testing::Values(std::make_tuple(2, 1), std::make_tuple(4, 1),
+                      std::make_tuple(8, 1), std::make_tuple(16, 1),
+                      std::make_tuple(32, 1), std::make_tuple(4, 2),
+                      std::make_tuple(8, 4), std::make_tuple(16, 8),
+                      std::make_tuple(7, 3)),
+    [](const auto& info) {
+      return "np" + std::to_string(std::get<0>(info.param)) + "_ppn" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// Barrier latency should grow roughly logarithmically with size
+// (dissemination): 32 ranks take at most ~2.5x the rounds of 4 ranks.
+TEST(MpiScaling, BarrierRoundsGrowLogarithmically) {
+  auto barrier_time = [](int nprocs) {
+    TestBed bed(os::Machine::breadboard(static_cast<std::size_t>(nprocs)));
+    double t = 0;
+    bed.install_app("bar", [&t](Env& env) -> Task<void> {
+      auto comm = co_await Comm::init(env);
+      const double t0 = comm->wtime();
+      co_await comm->barrier();
+      if (comm->rank() == 0) t = comm->wtime() - t0;
+      co_await comm->finalize();
+    });
+    pmi::MpiexecSpec spec;
+    spec.user_argv = {"bar"};
+    spec.nprocs = nprocs;
+    std::vector<os::NodeId> hosts;
+    for (int i = 0; i < nprocs; ++i) hosts.push_back(static_cast<os::NodeId>(i));
+    auto mpx = bed.launch_manual(spec, hosts);
+    EXPECT_EQ(bed.run_to_completion(*mpx), 0);
+    return t;
+  };
+  const double t4 = barrier_time(4);    // 2 rounds
+  const double t32 = barrier_time(32);  // 5 rounds
+  EXPECT_GT(t32, t4);
+  EXPECT_LT(t32, t4 * 6.0);
+}
+
+}  // namespace
+}  // namespace jets::mpi
