@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_grouping.dir/abl_grouping.cc.o"
+  "CMakeFiles/abl_grouping.dir/abl_grouping.cc.o.d"
+  "abl_grouping"
+  "abl_grouping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_grouping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

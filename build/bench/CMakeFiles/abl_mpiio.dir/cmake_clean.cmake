@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_mpiio.dir/abl_mpiio.cc.o"
+  "CMakeFiles/abl_mpiio.dir/abl_mpiio.cc.o.d"
+  "abl_mpiio"
+  "abl_mpiio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_mpiio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_spectrum.dir/abl_spectrum.cc.o"
+  "CMakeFiles/abl_spectrum.dir/abl_spectrum.cc.o.d"
+  "abl_spectrum"
+  "abl_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_staging.dir/abl_staging.cc.o"
+  "CMakeFiles/abl_staging.dir/abl_staging.cc.o.d"
+  "abl_staging"
+  "abl_staging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_staging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

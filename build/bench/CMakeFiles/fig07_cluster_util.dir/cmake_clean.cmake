@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_cluster_util.dir/fig07_cluster_util.cc.o"
+  "CMakeFiles/fig07_cluster_util.dir/fig07_cluster_util.cc.o.d"
+  "fig07_cluster_util"
+  "fig07_cluster_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_cluster_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_pingpong.dir/fig08_pingpong.cc.o"
+  "CMakeFiles/fig08_pingpong.dir/fig08_pingpong.cc.o.d"
+  "fig08_pingpong"
+  "fig08_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_faulty.dir/fig10_faulty.cc.o"
+  "CMakeFiles/fig10_faulty.dir/fig10_faulty.cc.o.d"
+  "fig10_faulty"
+  "fig10_faulty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_faulty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

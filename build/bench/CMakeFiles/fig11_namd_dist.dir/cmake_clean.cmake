@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_namd_dist.dir/fig11_namd_dist.cc.o"
+  "CMakeFiles/fig11_namd_dist.dir/fig11_namd_dist.cc.o.d"
+  "fig11_namd_dist"
+  "fig11_namd_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_namd_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_namd_util.dir/fig12_namd_util.cc.o"
+  "CMakeFiles/fig12_namd_util.dir/fig12_namd_util.cc.o.d"
+  "fig12_namd_util"
+  "fig12_namd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_namd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_load_level.dir/fig13_load_level.cc.o"
+  "CMakeFiles/fig13_load_level.dir/fig13_load_level.cc.o.d"
+  "fig13_load_level"
+  "fig13_load_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_load_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

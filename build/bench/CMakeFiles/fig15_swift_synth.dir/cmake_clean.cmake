@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_swift_synth.dir/fig15_swift_synth.cc.o"
+  "CMakeFiles/fig15_swift_synth.dir/fig15_swift_synth.cc.o.d"
+  "fig15_swift_synth"
+  "fig15_swift_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_swift_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

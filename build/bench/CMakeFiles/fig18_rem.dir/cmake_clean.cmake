@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_rem.dir/fig18_rem.cc.o"
+  "CMakeFiles/fig18_rem.dir/fig18_rem.cc.o.d"
+  "fig18_rem"
+  "fig18_rem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_rem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

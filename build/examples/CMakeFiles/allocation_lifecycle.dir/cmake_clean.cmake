@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocation_lifecycle.dir/allocation_lifecycle.cpp.o"
+  "CMakeFiles/allocation_lifecycle.dir/allocation_lifecycle.cpp.o.d"
+  "allocation_lifecycle"
+  "allocation_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocation_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tolerant_sweep.dir/fault_tolerant_sweep.cpp.o"
+  "CMakeFiles/fault_tolerant_sweep.dir/fault_tolerant_sweep.cpp.o.d"
+  "fault_tolerant_sweep"
+  "fault_tolerant_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tolerant_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

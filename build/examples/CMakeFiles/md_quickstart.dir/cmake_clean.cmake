@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_quickstart.dir/md_quickstart.cpp.o"
+  "CMakeFiles/md_quickstart.dir/md_quickstart.cpp.o.d"
+  "md_quickstart"
+  "md_quickstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_quickstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/jets_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/swift/CMakeFiles/jets_swift.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/jets_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/md/CMakeFiles/jets_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/jets_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmi/CMakeFiles/jets_pmi.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/jets_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/jets_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jets_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rem_workflow.dir/rem_workflow.cpp.o"
+  "CMakeFiles/rem_workflow.dir/rem_workflow.cpp.o.d"
+  "rem_workflow"
+  "rem_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rem_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swift_script.dir/swift_script.cpp.o"
+  "CMakeFiles/swift_script.dir/swift_script.cpp.o.d"
+  "swift_script"
+  "swift_script.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swift_script.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

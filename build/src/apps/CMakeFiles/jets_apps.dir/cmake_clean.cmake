@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jets_apps.dir/namd.cc.o"
+  "CMakeFiles/jets_apps.dir/namd.cc.o.d"
+  "CMakeFiles/jets_apps.dir/rem.cc.o"
+  "CMakeFiles/jets_apps.dir/rem.cc.o.d"
+  "CMakeFiles/jets_apps.dir/synthetic.cc.o"
+  "CMakeFiles/jets_apps.dir/synthetic.cc.o.d"
+  "libjets_apps.a"
+  "libjets_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jets_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

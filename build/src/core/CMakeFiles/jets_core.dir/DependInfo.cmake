@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/job.cc" "src/core/CMakeFiles/jets_core.dir/job.cc.o" "gcc" "src/core/CMakeFiles/jets_core.dir/job.cc.o.d"
+  "/root/repo/src/core/service.cc" "src/core/CMakeFiles/jets_core.dir/service.cc.o" "gcc" "src/core/CMakeFiles/jets_core.dir/service.cc.o.d"
+  "/root/repo/src/core/standalone.cc" "src/core/CMakeFiles/jets_core.dir/standalone.cc.o" "gcc" "src/core/CMakeFiles/jets_core.dir/standalone.cc.o.d"
+  "/root/repo/src/core/worker.cc" "src/core/CMakeFiles/jets_core.dir/worker.cc.o" "gcc" "src/core/CMakeFiles/jets_core.dir/worker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pmi/CMakeFiles/jets_pmi.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/jets_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/jets_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jets_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

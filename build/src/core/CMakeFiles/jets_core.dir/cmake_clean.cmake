@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jets_core.dir/job.cc.o"
+  "CMakeFiles/jets_core.dir/job.cc.o.d"
+  "CMakeFiles/jets_core.dir/service.cc.o"
+  "CMakeFiles/jets_core.dir/service.cc.o.d"
+  "CMakeFiles/jets_core.dir/standalone.cc.o"
+  "CMakeFiles/jets_core.dir/standalone.cc.o.d"
+  "CMakeFiles/jets_core.dir/worker.cc.o"
+  "CMakeFiles/jets_core.dir/worker.cc.o.d"
+  "libjets_core.a"
+  "libjets_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jets_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/md/analysis.cc" "src/md/CMakeFiles/jets_md.dir/analysis.cc.o" "gcc" "src/md/CMakeFiles/jets_md.dir/analysis.cc.o.d"
+  "/root/repo/src/md/lj_system.cc" "src/md/CMakeFiles/jets_md.dir/lj_system.cc.o" "gcc" "src/md/CMakeFiles/jets_md.dir/lj_system.cc.o.d"
+  "/root/repo/src/md/replica_exchange.cc" "src/md/CMakeFiles/jets_md.dir/replica_exchange.cc.o" "gcc" "src/md/CMakeFiles/jets_md.dir/replica_exchange.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/jets_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jets_md.dir/analysis.cc.o"
+  "CMakeFiles/jets_md.dir/analysis.cc.o.d"
+  "CMakeFiles/jets_md.dir/lj_system.cc.o"
+  "CMakeFiles/jets_md.dir/lj_system.cc.o.d"
+  "CMakeFiles/jets_md.dir/replica_exchange.cc.o"
+  "CMakeFiles/jets_md.dir/replica_exchange.cc.o.d"
+  "libjets_md.a"
+  "libjets_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jets_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

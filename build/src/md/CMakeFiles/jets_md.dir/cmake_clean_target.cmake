@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjets_md.a"
+)

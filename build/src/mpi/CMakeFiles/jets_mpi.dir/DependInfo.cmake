@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/comm.cc" "src/mpi/CMakeFiles/jets_mpi.dir/comm.cc.o" "gcc" "src/mpi/CMakeFiles/jets_mpi.dir/comm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pmi/CMakeFiles/jets_pmi.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/jets_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/jets_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jets_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jets_mpi.dir/comm.cc.o"
+  "CMakeFiles/jets_mpi.dir/comm.cc.o.d"
+  "libjets_mpi.a"
+  "libjets_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jets_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

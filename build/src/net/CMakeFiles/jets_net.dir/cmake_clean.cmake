@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jets_net.dir/fabric.cc.o"
+  "CMakeFiles/jets_net.dir/fabric.cc.o.d"
+  "CMakeFiles/jets_net.dir/socket.cc.o"
+  "CMakeFiles/jets_net.dir/socket.cc.o.d"
+  "libjets_net.a"
+  "libjets_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jets_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

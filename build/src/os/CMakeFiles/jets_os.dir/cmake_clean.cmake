@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jets_os.dir/fairshare.cc.o"
+  "CMakeFiles/jets_os.dir/fairshare.cc.o.d"
+  "CMakeFiles/jets_os.dir/filesystem.cc.o"
+  "CMakeFiles/jets_os.dir/filesystem.cc.o.d"
+  "CMakeFiles/jets_os.dir/machine.cc.o"
+  "CMakeFiles/jets_os.dir/machine.cc.o.d"
+  "libjets_os.a"
+  "libjets_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jets_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jets_pmi.dir/client.cc.o"
+  "CMakeFiles/jets_pmi.dir/client.cc.o.d"
+  "CMakeFiles/jets_pmi.dir/hydra.cc.o"
+  "CMakeFiles/jets_pmi.dir/hydra.cc.o.d"
+  "libjets_pmi.a"
+  "libjets_pmi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jets_pmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

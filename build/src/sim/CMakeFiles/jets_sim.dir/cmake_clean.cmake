@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jets_sim.dir/engine.cc.o"
+  "CMakeFiles/jets_sim.dir/engine.cc.o.d"
+  "CMakeFiles/jets_sim.dir/stats.cc.o"
+  "CMakeFiles/jets_sim.dir/stats.cc.o.d"
+  "libjets_sim.a"
+  "libjets_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jets_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

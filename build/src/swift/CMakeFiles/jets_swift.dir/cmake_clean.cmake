@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jets_swift.dir/coasters.cc.o"
+  "CMakeFiles/jets_swift.dir/coasters.cc.o.d"
+  "CMakeFiles/jets_swift.dir/engine.cc.o"
+  "CMakeFiles/jets_swift.dir/engine.cc.o.d"
+  "CMakeFiles/jets_swift.dir/script.cc.o"
+  "CMakeFiles/jets_swift.dir/script.cc.o.d"
+  "libjets_swift.a"
+  "libjets_swift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jets_swift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_mpi_test.dir/property_mpi_test.cc.o"
+  "CMakeFiles/property_mpi_test.dir/property_mpi_test.cc.o.d"
+  "property_mpi_test"
+  "property_mpi_test.pdb"
+  "property_mpi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_mpi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/script_property_test.dir/script_property_test.cc.o"
+  "CMakeFiles/script_property_test.dir/script_property_test.cc.o.d"
+  "script_property_test"
+  "script_property_test.pdb"
+  "script_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/script_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

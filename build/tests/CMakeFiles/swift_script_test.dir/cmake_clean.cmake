@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swift_script_test.dir/swift_script_test.cc.o"
+  "CMakeFiles/swift_script_test.dir/swift_script_test.cc.o.d"
+  "swift_script_test"
+  "swift_script_test.pdb"
+  "swift_script_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swift_script_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swift_test.dir/swift_test.cc.o"
+  "CMakeFiles/swift_test.dir/swift_test.cc.o.d"
+  "swift_test"
+  "swift_test.pdb"
+  "swift_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swift_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_sync_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/os_test[1]_include.cmake")
+include("/root/repo/build/tests/pmi_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_test[1]_include.cmake")
+include("/root/repo/build/tests/core_job_test[1]_include.cmake")
+include("/root/repo/build/tests/core_service_test[1]_include.cmake")
+include("/root/repo/build/tests/md_test[1]_include.cmake")
+include("/root/repo/build/tests/swift_test[1]_include.cmake")
+include("/root/repo/build/tests/swift_script_test[1]_include.cmake")
+include("/root/repo/build/tests/property_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/property_net_test[1]_include.cmake")
+include("/root/repo/build/tests/property_mpi_test[1]_include.cmake")
+include("/root/repo/build/tests/property_jets_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_io_test[1]_include.cmake")
+include("/root/repo/build/tests/core_worker_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/script_property_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
