@@ -1,50 +1,81 @@
-// Fig 10 — task management in a faulty setting (§6.1.5).
+// Fig 10 — task management in a faulty setting (§6.1.5), extended into a
+// fault-spectrum bench.
 //
-// 32 Surveyor workers run a continuous stream of short sequential tasks; a
-// fault injector terminates one randomly selected pilot every 10 s. The
-// figure plots "nodes available" and "running jobs" over time: the paper
-// shows early lockstep dips (dispatcher congestion when many workers free
-// simultaneously) that fade as skew accumulates, with running jobs hugging
-// the shrinking node count until everything is gone at ~320 s.
+// The paper's protocol: 32 Surveyor workers run a continuous stream of
+// short sequential tasks while one randomly selected pilot is terminated
+// every 10 s; the figure plots "nodes available" and "running jobs" over
+// time, with running jobs hugging the shrinking node count until the
+// allocation is gone at ~320 s.
+//
+// This harness runs the same workload under three fault classes from the
+// chaos engine (core/chaos.hh), one scenario per series:
+//
+//   kill  — the paper's original fault: pilot SIGKILL, service sees EOF.
+//   hang  — pilots freeze with their sockets open; only the heartbeat /
+//           liveness machinery can detect them, so "nodes available" here
+//           counts *usable* workers (connected minus hung-but-undetected).
+//           Hangs are permanent: the pool shrinks like the kill series,
+//           but each drop lags the fault by the liveness deadline.
+//   stall — 30 s network stalls on random nodes: the service evicts the
+//           silent worker (liveness), retries its job elsewhere, and
+//           re-enlists the worker when its traffic drains — the pool dips
+//           and recovers instead of shrinking.
+//
+// All three scenarios drive faults and placement from fixed seeds; two
+// runs of this binary produce byte-identical output.
 #include <cstdio>
+#include <memory>
 
-#include "core/faults.hh"
+#include "core/chaos.hh"
 #include "harness.hh"
 
 using namespace jets;
 
-int main() {
-  bench::figure_header(
-      "fig10", "running jobs vs available nodes under fault injection",
-      "one pilot killed every 10 s from 32; running jobs track nodes "
-      "available; early lockstep dips fade with skew");
+namespace {
 
+struct Scenario {
+  const char* label;
+  core::FaultKind kind;
+  sim::Duration fault_duration;  // stall window; 0 = permanent fault
+  bool heartbeats;               // enable worker pings + liveness eviction
+};
+
+void run_scenario(const Scenario& sc) {
   constexpr std::size_t kNodes = 32;
   bench::Bed bed(os::Machine::surveyor(kNodes));
   auto options = bench::surveyor_options(/*workers_per_node=*/1);
   options.worker.stage_files = {pmi::kProxyBinary, "sleep"};
   options.service.max_attempts = 100;  // keep retrying onto survivors
+  auto registry = std::make_shared<core::WorkerHangRegistry>();
+  options.worker.hang_registry = registry;
+  if (sc.heartbeats) {
+    options.worker.heartbeat_interval = sim::seconds(2);
+    options.service.worker_liveness_timeout = sim::seconds(5);
+  }
   core::StandaloneJets jets(bed.machine, bed.apps, options);
   jets.start(bed.nodes(kNodes));
 
   // More work than the allocation can finish: the run ends when the last
-  // worker dies, not when the batch drains.
+  // worker dies (kill/hang) or the 400 s observation window closes.
   std::vector<core::JobSpec> jobs(20'000, bench::seq_job({"sleep", "1"}));
 
-  sim::TimeSeries nodes_available;
-  sim::TimeSeries running_jobs;
-  core::FaultInjector chaos(bed.machine, jets.worker_pids(), sim::seconds(10),
-                            sim::Rng(2011));
+  core::ChaosEngine chaos(bed.machine, sim::Rng(2011).fork(sc.label));
+  chaos.set_pilots(jets.worker_pids());
+  chaos.set_hang_registry(registry);
+  chaos.add_periodic(sc.kind, sim::seconds(10), sim::seconds(10), kNodes,
+                     sc.fault_duration);
 
-  bed.engine.spawn("driver", [](bench::Bed& bed, core::StandaloneJets& jets,
+  bed.engine.spawn("driver", [](core::StandaloneJets& jets,
                                 std::vector<core::JobSpec> jobs,
-                                core::FaultInjector& chaos) -> sim::Task<void> {
+                                core::ChaosEngine& chaos) -> sim::Task<void> {
     co_await jets.wait_workers();
     jets.service().submit_batch(jobs);
     chaos.start();
-  }(bed, jets, std::move(jobs), chaos));
+  }(jets, std::move(jobs), chaos));
 
-  // Sample both series once per second until all workers are gone.
+  // Sample both series once per second.
+  sim::TimeSeries nodes_available;
+  sim::TimeSeries running_jobs;
   for (int t = 1; t <= 400; ++t) {
     bed.engine.run_until(sim::seconds(t));
     nodes_available.add(bed.engine.now(),
@@ -54,6 +85,7 @@ int main() {
     if (t > 20 && jets.service().connected_workers() == 0) break;
   }
 
+  std::printf("# scenario: %s\n", sc.label);
   std::printf("%-8s %-16s %s\n", "time_s", "nodes_available", "running_jobs");
   const auto& na = nodes_available.points();
   const auto& rj = running_jobs.points();
@@ -61,6 +93,27 @@ int main() {
     std::printf("%-8.0f %-16.0f %.0f\n", sim::to_seconds(na[i].first),
                 na[i].second, rj[i].second);
   }
-  std::printf("# workers killed: %zu\n", chaos.killed());
+  const auto& c = chaos.counters();
+  std::printf(
+      "# %s: killed=%zu hung=%zu stalled=%zu | evicted=%zu reenlisted=%zu "
+      "heartbeats=%zu completed=%zu failed=%zu\n",
+      sc.label, c.pilots_killed, c.workers_hung, c.nodes_stalled,
+      jets.service().evicted_workers(), jets.service().reenlisted_workers(),
+      jets.service().heartbeats_received(), jets.service().completed_jobs(),
+      jets.service().failed_jobs());
+}
+
+}  // namespace
+
+int main() {
+  bench::figure_header(
+      "fig10", "running jobs vs available nodes across the fault spectrum",
+      "one fault every 10 s on 32 workers; kill and hang series shrink the "
+      "pool (hang lagging by the liveness deadline), stall series dips and "
+      "recovers via eviction + re-enlistment");
+
+  run_scenario({"kill", core::FaultKind::kKillPilot, 0, false});
+  run_scenario({"hang", core::FaultKind::kHangWorker, 0, true});
+  run_scenario({"stall", core::FaultKind::kSocketStall, sim::seconds(30), true});
   return 0;
 }

@@ -1,14 +1,19 @@
 // Parameter sweep surviving worker faults — the "faulty setting" of §6.1.5
 // as a user would actually hit it: a sweep of MPI jobs over a parameter
-// grid on the BG/P, with pilot jobs dying underneath (hardware faults,
-// allocation borders). JETS disregards broken workers and retries their
-// jobs on survivors; the sweep completes with an accounting of retries.
+// grid on the BG/P, with infrastructure misbehaving underneath. The chaos
+// plan mixes fault classes: pilots die outright (hardware faults,
+// allocation borders), one pilot wedges with its socket open, a node's
+// network stalls, and a node silently runs slow. JETS disregards broken
+// workers — via EOF for kills, via the heartbeat/liveness deadline for the
+// hang and the stall — retries their jobs on survivors, and the sweep
+// completes with an accounting of retries.
 //
 // Build & run:  ./build/examples/fault_tolerant_sweep
 #include <cstdio>
+#include <memory>
 
 #include "apps/synthetic.hh"
-#include "core/faults.hh"
+#include "core/chaos.hh"
 #include "core/standalone.hh"
 #include "os/machine.hh"
 #include "pmi/hydra.hh"
@@ -29,6 +34,12 @@ int main() {
   options.worker.task_overhead = sim::milliseconds(450);
   options.worker.stage_files = {pmi::kProxyBinary, "mpi_sleep"};
   options.service.max_attempts = 5;  // faults cost retries, not results
+  // Liveness: workers ping every 2 s while busy; 8 s of silence from a
+  // busy worker and the service disregards it and retries its job.
+  options.worker.heartbeat_interval = sim::seconds(2);
+  options.service.worker_liveness_timeout = sim::seconds(8);
+  auto registry = std::make_shared<core::WorkerHangRegistry>();
+  options.worker.hang_registry = registry;
   core::StandaloneJets jets(machine, apps, options);
   std::vector<os::NodeId> allocation;
   for (std::size_t i = 0; i < kNodes; ++i) {
@@ -48,13 +59,24 @@ int main() {
     }
   }
 
-  // Chaos: kill a third of the pilots, one every 15 s.
-  std::vector<os::Machine::Pid> victims(jets.worker_pids().begin(),
-                                        jets.worker_pids().begin() + 10);
-  core::FaultInjector chaos(machine, victims, sim::seconds(15), sim::Rng(5));
+  // The chaos plan: six random pilot kills 15 s apart, plus one permanent
+  // hang, one 20 s network stall, and one 4x slow node.
+  core::ChaosEngine chaos(machine, sim::Rng(5));
+  chaos.set_pilots(jets.worker_pids());
+  chaos.set_hang_registry(registry);
+  chaos.add_periodic(core::FaultKind::kKillPilot, sim::seconds(15),
+                     sim::seconds(15), 6);
+  chaos.add({.at = sim::seconds(20), .kind = core::FaultKind::kHangWorker});
+  chaos.add({.at = sim::seconds(35),
+             .kind = core::FaultKind::kSocketStall,
+             .duration = sim::seconds(20)});
+  chaos.add({.at = sim::seconds(10),
+             .kind = core::FaultKind::kSlowNode,
+             .exec_scale = 4.0,
+             .compute_scale = 4.0});
 
   core::BatchReport report;
-  engine.spawn("main", [](core::StandaloneJets& jets, core::FaultInjector& chaos,
+  engine.spawn("main", [](core::StandaloneJets& jets, core::ChaosEngine& chaos,
                           std::vector<core::JobSpec> sweep,
                           core::BatchReport& out) -> sim::Task<void> {
     co_await jets.wait_workers();
@@ -68,13 +90,23 @@ int main() {
     total_attempts += rec.attempts;
     if (rec.attempts > 1) ++retried;
   }
+  const auto& c = chaos.counters();
   std::printf("sweep: %zu jobs, %zu completed, %zu failed\n",
               report.records.size(), report.completed, report.failed);
-  std::printf("faults injected: %zu pilots killed\n", chaos.killed());
+  std::printf(
+      "faults injected: %zu pilots killed, %zu hung, %zu nodes stalled, "
+      "%zu degraded\n",
+      c.pilots_killed, c.workers_hung, c.nodes_stalled, c.nodes_degraded);
+  std::printf("service response: %zu workers evicted, %zu re-enlisted "
+              "(%zu heartbeats)\n",
+              jets.service().evicted_workers(),
+              jets.service().reenlisted_workers(),
+              jets.service().heartbeats_received());
   std::printf("jobs retried after faults: %d (total attempts %d)\n", retried,
               total_attempts);
-  std::printf("makespan %.0f s on a shrinking allocation (%zu -> %zu workers)\n",
+  std::printf("makespan %.0f s on a degraded allocation (%zu slots, "
+              "%zu killed/hung)\n",
               report.makespan_seconds(), report.total_slots,
-              report.total_slots - chaos.killed());
+              c.pilots_killed + c.workers_hung);
   return report.failed == 0 ? 0 : 1;
 }

@@ -13,6 +13,12 @@ double arg_seconds(const os::Env& env, std::size_t idx, double fallback) {
   return std::stod(env.argv[idx]);
 }
 
+/// Compute time for this app on its node: the nominal duration stretched
+/// by the node's chaos compute multiplier (slow-node fault class).
+sim::Duration compute(const os::Env& env, double seconds) {
+  return env.machine->scale_compute(env.node, sim::from_seconds(seconds));
+}
+
 }  // namespace
 
 void install_synthetic_apps(os::AppRegistry& registry,
@@ -20,7 +26,7 @@ void install_synthetic_apps(os::AppRegistry& registry,
   registry.install("noop", [](os::Env&) -> sim::Task<void> { co_return; });
 
   registry.install("sleep", [](os::Env& env) -> sim::Task<void> {
-    co_await sim::delay(sim::from_seconds(arg_seconds(env, 1, 1.0)));
+    co_await sim::delay(compute(env, arg_seconds(env, 1, 1.0)));
   });
 
   // The Fig 7/9 app: "starts up, performs an MPI barrier on all processes,
@@ -28,7 +34,7 @@ void install_synthetic_apps(os::AppRegistry& registry,
   registry.install("mpi_sleep", [](os::Env& env) -> sim::Task<void> {
     auto comm = co_await mpi::Comm::init(env);
     co_await comm->barrier();
-    co_await sim::delay(sim::from_seconds(arg_seconds(env, 1, 1.0)));
+    co_await sim::delay(compute(env, arg_seconds(env, 1, 1.0)));
     co_await comm->barrier();
     co_await comm->finalize();
   });
@@ -38,7 +44,7 @@ void install_synthetic_apps(os::AppRegistry& registry,
   registry.install("mpi_sleep_write", [](os::Env& env) -> sim::Task<void> {
     auto comm = co_await mpi::Comm::init(env);
     co_await comm->barrier();
-    co_await sim::delay(sim::from_seconds(arg_seconds(env, 1, 10.0)));
+    co_await sim::delay(compute(env, arg_seconds(env, 1, 10.0)));
     const std::string out =
         (env.argv.size() > 2 ? env.argv[2] : std::string("/gpfs/out")) + "." +
         std::to_string(comm->rank());

@@ -1,0 +1,114 @@
+#include "core/chaos.hh"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace jets::core {
+
+void ChaosEngine::add_periodic(FaultKind kind, sim::Time first_at,
+                               sim::Duration interval, std::size_t count,
+                               sim::Duration duration) {
+  for (std::size_t k = 0; k < count; ++k) {
+    Fault f;
+    f.at = first_at + static_cast<sim::Duration>(k) * interval;
+    f.kind = kind;
+    f.duration = duration;
+    plan_.push_back(f);
+  }
+}
+
+void ChaosEngine::start() {
+  if (started_) throw std::logic_error("ChaosEngine::start called twice");
+  started_ = true;
+  if (nodes_.empty()) {
+    nodes_.reserve(machine_->compute_node_count());
+    for (std::size_t i = 0; i < machine_->compute_node_count(); ++i) {
+      nodes_.push_back(static_cast<os::NodeId>(i));
+    }
+  }
+  // Arm in plan order: equal-time faults fire FIFO in the order they were
+  // added, which keeps the rng draw sequence (and thus the run) stable.
+  // Fault times already behind the clock (start() is usually called after
+  // the harness waited for workers) fire immediately.
+  for (const Fault& f : plan_) {
+    machine_->engine().call_at(std::max(f.at, machine_->engine().now()),
+                               [this, f] { fire(f); });
+  }
+}
+
+os::NodeId ChaosEngine::pick_node(const Fault& f) {
+  if (f.node != kRandomTarget) return f.node;
+  if (nodes_.empty()) throw std::logic_error("chaos: no target nodes");
+  const auto idx = static_cast<std::size_t>(rng_.uniform_int(
+      0, static_cast<std::int64_t>(nodes_.size()) - 1));
+  return nodes_[idx];
+}
+
+void ChaosEngine::fire(const Fault& f) {
+  switch (f.kind) {
+    case FaultKind::kKillPilot: {
+      if (pilots_.empty()) return;
+      const auto idx = static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(pilots_.size()) - 1));
+      machine_->kill(pilots_[idx]);
+      pilots_.erase(pilots_.begin() + static_cast<std::ptrdiff_t>(idx));
+      ++counters_.pilots_killed;
+      break;
+    }
+    case FaultKind::kSocketClose: {
+      counters_.connections_reset +=
+          machine_->network().reset_node(pick_node(f));
+      break;
+    }
+    case FaultKind::kSocketStall: {
+      machine_->network().stall_node(pick_node(f), f.duration);
+      ++counters_.nodes_stalled;
+      break;
+    }
+    case FaultKind::kHangWorker: {
+      if (!registry_) return;
+      // Target: the first not-yet-hung control on the requested node, or a
+      // random not-yet-hung one. Registration order is the deterministic
+      // worker start order, so "first" is stable.
+      std::vector<std::shared_ptr<WorkerHangControl>> eligible;
+      for (const auto& ctl : registry_->controls) {
+        if (ctl->hung()) continue;
+        if (f.node != kRandomTarget && ctl->node() != f.node) continue;
+        eligible.push_back(ctl);
+      }
+      if (eligible.empty()) return;
+      std::shared_ptr<WorkerHangControl> victim;
+      if (f.node != kRandomTarget) {
+        victim = eligible.front();
+      } else {
+        const auto idx = static_cast<std::size_t>(rng_.uniform_int(
+            0, static_cast<std::int64_t>(eligible.size()) - 1));
+        victim = eligible[idx];
+      }
+      victim->hang();
+      ++counters_.workers_hung;
+      if (f.duration > 0) {
+        machine_->engine().call_in(f.duration, [this, victim] {
+          if (!victim->hung()) return;
+          victim->release();
+          ++counters_.workers_released;
+        });
+      }
+      break;
+    }
+    case FaultKind::kSlowNode: {
+      const os::NodeId node = pick_node(f);
+      machine_->set_node_slowdown(node, f.exec_scale, f.compute_scale);
+      ++counters_.nodes_degraded;
+      if (f.duration > 0) {
+        machine_->engine().call_in(f.duration, [this, node] {
+          machine_->set_node_slowdown(node, 1.0, 1.0);
+        });
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace jets::core

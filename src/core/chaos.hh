@@ -1,0 +1,122 @@
+// Deterministic chaos engine: a scheduled fault plan over the simulated
+// machine, generalizing the paper's faulty-setting protocol (§6.1.5) from
+// "kill a random pilot every N seconds" to four fault classes:
+//
+//   kKillPilot   — SIGKILL a pilot process. Its task subtree dies with it
+//                  and the service notices through the broken socket (the
+//                  original Fig 10 fault).
+//   kSocketClose — RST every connection touching a node: in-flight bytes
+//                  vanish, both ends see EOF now (a switch port dying).
+//   kSocketStall — freeze a node's network sends and deliveries for a
+//                  fixed window (deep congestion, a flapping link). The
+//                  connection *survives*; traffic resumes afterwards.
+//   kHangWorker  — freeze a pilot's task-handling actor while its socket
+//                  stays open (wedged interpreter, D-state process). Only
+//                  the service-side liveness deadline can catch this.
+//   kSlowNode    — multiply a node's fork/exec and compute costs (thermal
+//                  throttling, a sick DIMM). Optionally heals later.
+//
+// Every random choice draws from one explicitly seeded sim::Rng at fire
+// time, and all faults are armed on the simulation clock, so a chaos run
+// is byte-reproducible: same seed + same plan => identical execution.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/worker.hh"
+#include "os/machine.hh"
+#include "sim/random.hh"
+#include "sim/time.hh"
+
+namespace jets::core {
+
+enum class FaultKind {
+  kKillPilot,
+  kSocketClose,
+  kSocketStall,
+  kHangWorker,
+  kSlowNode,
+};
+
+/// Sentinel for Fault::node: pick a target deterministically (from the
+/// chaos rng) at fire time.
+inline constexpr os::NodeId kRandomTarget =
+    std::numeric_limits<os::NodeId>::max();
+
+/// One scheduled fault.
+struct Fault {
+  /// Absolute simulation time to fire at.
+  sim::Time at = 0;
+  FaultKind kind = FaultKind::kKillPilot;
+  /// Target node for socket/slow faults, and preferred node for hangs
+  /// (kKillPilot always picks a random remaining pilot).
+  os::NodeId node = kRandomTarget;
+  /// kSocketStall: stall window. kHangWorker: release after this long
+  /// (0 = hung forever). kSlowNode: heal after this long (0 = permanent).
+  sim::Duration duration = 0;
+  /// kSlowNode multipliers (>= 1.0 degrades; 1.0/1.0 is a no-op heal).
+  double exec_scale = 1.0;
+  double compute_scale = 1.0;
+};
+
+struct ChaosCounters {
+  std::size_t pilots_killed = 0;
+  std::size_t connections_reset = 0;  // RST'd by kSocketClose faults
+  std::size_t nodes_stalled = 0;
+  std::size_t workers_hung = 0;
+  std::size_t workers_released = 0;
+  std::size_t nodes_degraded = 0;
+};
+
+class ChaosEngine {
+ public:
+  ChaosEngine(os::Machine& machine, sim::Rng rng)
+      : machine_(&machine), rng_(rng) {}
+
+  /// Candidate victims for kKillPilot faults (each killed at most once).
+  void set_pilots(std::vector<os::Machine::Pid> pilots) {
+    pilots_ = std::move(pilots);
+  }
+  /// Candidate targets for random-node socket/slow faults. Defaults to
+  /// every compute node of the machine.
+  void set_nodes(std::vector<os::NodeId> nodes) { nodes_ = std::move(nodes); }
+  /// Source of hang controls for kHangWorker faults (workers started with
+  /// WorkerConfig::hang_registry register themselves here).
+  void set_hang_registry(std::shared_ptr<WorkerHangRegistry> registry) {
+    registry_ = std::move(registry);
+  }
+
+  /// Adds one fault to the plan. Must be called before start().
+  void add(Fault f) { plan_.push_back(f); }
+
+  /// Adds `count` faults of `kind` at first_at, first_at + interval, ...
+  /// with random targets and the given per-fault duration.
+  void add_periodic(FaultKind kind, sim::Time first_at, sim::Duration interval,
+                    std::size_t count, sim::Duration duration = 0);
+
+  /// Arms the whole plan on the engine clock. Call once.
+  void start();
+
+  const ChaosCounters& counters() const { return counters_; }
+  /// Pilots not yet killed (FaultInjector-compatible accounting).
+  std::size_t pilots_remaining() const { return pilots_.size(); }
+
+ private:
+  void fire(const Fault& f);
+  /// Resolves a fault's target node (drawing from rng_ when random).
+  os::NodeId pick_node(const Fault& f);
+
+  os::Machine* machine_;
+  sim::Rng rng_;
+  std::vector<Fault> plan_;
+  std::vector<os::Machine::Pid> pilots_;
+  std::vector<os::NodeId> nodes_;
+  std::shared_ptr<WorkerHangRegistry> registry_;
+  ChaosCounters counters_;
+  bool started_ = false;
+};
+
+}  // namespace jets::core

@@ -3,11 +3,15 @@
 // setting experiment. Because a worker's tasks are its process children,
 // killing the pilot takes the running task down with it, and the service
 // notices through the broken socket.
+//
+// This is a thin compatibility wrapper over the general ChaosEngine (see
+// core/chaos.hh), which adds socket, hang, and slow-node fault classes.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "core/chaos.hh"
 #include "os/machine.hh"
 #include "sim/random.hh"
 #include "sim/time.hh"
@@ -18,34 +22,27 @@ class FaultInjector {
  public:
   FaultInjector(os::Machine& machine, std::vector<os::Machine::Pid> victims,
                 sim::Duration interval, sim::Rng rng)
-      : machine_(&machine), victims_(std::move(victims)), interval_(interval),
-        rng_(rng) {}
-
-  /// Schedules kills: one victim per interval until the pool is empty.
-  void start() { arm_next(); }
-
-  std::size_t killed() const { return killed_; }
-  std::size_t remaining() const { return victims_.size(); }
-
- private:
-  void arm_next() {
-    if (victims_.empty()) return;
-    machine_->engine().call_in(interval_, [this] {
-      if (victims_.empty()) return;
-      const auto idx = static_cast<std::size_t>(
-          rng_.uniform_int(0, static_cast<std::int64_t>(victims_.size()) - 1));
-      machine_->kill(victims_[idx]);
-      victims_.erase(victims_.begin() + static_cast<std::ptrdiff_t>(idx));
-      ++killed_;
-      arm_next();
-    });
+      : chaos_(machine, rng), machine_(&machine), interval_(interval),
+        total_(victims.size()) {
+    chaos_.set_pilots(std::move(victims));
   }
 
+  /// Schedules kills: one victim per interval until the pool is empty.
+  void start() {
+    chaos_.add_periodic(FaultKind::kKillPilot,
+                        machine_->engine().now() + interval_, interval_,
+                        total_);
+    chaos_.start();
+  }
+
+  std::size_t killed() const { return chaos_.counters().pilots_killed; }
+  std::size_t remaining() const { return chaos_.pilots_remaining(); }
+
+ private:
+  ChaosEngine chaos_;
   os::Machine* machine_;
-  std::vector<os::Machine::Pid> victims_;
   sim::Duration interval_;
-  sim::Rng rng_;
-  std::size_t killed_ = 0;
+  std::size_t total_;
 };
 
 }  // namespace jets::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <set>
 #include <stdexcept>
 
 namespace jets::core {
@@ -72,12 +73,18 @@ void Service::deadline_expired(JobId id) {
     if (job.mpx) {
       job.mpx->abort("job deadline");  // its waiter finishes the job
     } else {
+      // Best-effort kills, then settle the job *now*. Relying on the
+      // worker's done/ready cycle is not enough: if the deadline fires
+      // while the run message is still being dispatched, the kill would
+      // refer to a task the worker has never heard of and the job would
+      // hang forever in kRunning.
       for (WorkerId wid : job.assigned) {
         Worker& w = workers_.at(wid);
         if (w.connected && w.sock) {
           w.sock->send(net::Message(kMsgKill, {w.task_id}));
         }
       }
+      job_finished(id, /*status=*/124);
     }
   }
 }
@@ -154,19 +161,43 @@ sim::Task<void> Service::worker_handler(net::SocketPtr sock) {
   for (;;) {
     auto m = co_await sock->recv();
     if (!m) break;
+    if (wid != 0) workers_.at(wid).last_heard = machine_->engine().now();
     if (m->tag == kMsgRegister) {
+      const auto node = static_cast<os::NodeId>(std::stoul(m->args.at(0)));
+      if (node_blacklisted(node)) {
+        ++blacklist_rejections_;
+        sock->close();
+        break;  // refuse the node outright
+      }
       wid = next_worker_++;
       Worker w;
       w.id = wid;
-      w.node = static_cast<os::NodeId>(std::stoul(m->args.at(0)));
+      w.node = node;
       w.sock = sock;
       w.connected = true;
+      w.last_heard = machine_->engine().now();
       workers_.emplace(wid, std::move(w));
       ++connected_;
+    } else if (m->tag == kMsgPing && wid != 0) {
+      ++heartbeats_;  // last_heard already refreshed above
     } else if (m->tag == kMsgReady && wid != 0) {
       Worker& w = workers_.at(wid);
+      w.liveness_timer.cancel();
       w.busy = false;
       w.job = 0;
+      w.task_id.clear();
+      if (w.evicted) {
+        // A disregarded worker came back (hang released, stall drained).
+        // Unless its node has been blacklisted, give it another chance.
+        if (node_blacklisted(w.node)) {
+          ++blacklist_rejections_;
+          continue;
+        }
+        w.evicted = false;
+        w.connected = true;
+        ++connected_;
+        ++reenlisted_;
+      }
       ready_.push_back(wid);
       kick();
     } else if (m->tag == kMsgStaged) {
@@ -189,7 +220,9 @@ sim::Task<void> Service::worker_handler(net::SocketPtr sock) {
   // Worker gone (allocation expired, node fault, kill): disregard it.
   if (wid != 0) {
     auto it = workers_.find(wid);
-    if (it != workers_.end() && it->second.connected) {
+    if (it == workers_.end()) co_return;
+    it->second.liveness_timer.cancel();
+    if (it->second.connected) {
       it->second.connected = false;
       --connected_;
       std::erase(ready_, wid);
@@ -199,6 +232,9 @@ sim::Task<void> Service::worker_handler(net::SocketPtr sock) {
         job_finished(it->second.job, /*status=*/1);
       }
     }
+    // A worker already evicted for liveness needs no further bookkeeping;
+    // mark it unable to re-enlist now that its connection is truly gone.
+    it->second.evicted = false;
   }
 }
 
@@ -286,14 +322,27 @@ sim::Task<void> Service::place_job(JobId id) {
   const JobSpec& spec = job.rec.spec;
   const auto needed = static_cast<std::size_t>(spec.workers_needed());
   job.assigned = claim_workers(needed);
+  // Local copy: job.assigned is cleared if the job settles (eviction,
+  // deadline) while this coroutine is suspended in a dispatch delay.
+  const std::vector<WorkerId> claimed = job.assigned;
   job.rec.status = JobStatus::kRunning;
   job.rec.started_at = machine_->engine().now();
   ++job.rec.attempts;
   ++running_;
   job.rec.nodes.clear();
-  for (WorkerId wid : job.assigned) {
-    workers_.at(wid).job = id;
-    job.rec.nodes.push_back(workers_.at(wid).node);
+  for (WorkerId wid : claimed) {
+    Worker& w = workers_.at(wid);
+    w.job = id;
+    job.rec.nodes.push_back(w.node);
+    if (config_.worker_liveness_timeout > 0) {
+      // The liveness clock starts when work is handed over; heartbeats
+      // (and done/ready traffic) keep pushing last_heard forward.
+      w.last_heard = machine_->engine().now();
+      w.liveness_timer.cancel();
+      w.liveness_timer = machine_->engine().call_in(
+          config_.worker_liveness_timeout,
+          [this, wid] { liveness_check(wid); });
+    }
   }
   if (hooks_.on_job_start) hooks_.on_job_start(job.rec);
 
@@ -301,12 +350,20 @@ sim::Task<void> Service::place_job(JobId id) {
     const std::string tid = "t" + std::to_string(next_task_++);
     task_to_job_[tid] = id;
     job.task_id = tid;
-    Worker& w = workers_.at(job.assigned.front());
+    Worker& w = workers_.at(claimed.front());
     w.task_id = tid;
     co_await sim::delay(config_.dispatch_overhead);
+    if (job.rec.status != JobStatus::kRunning) {  // settled mid-placement
+      release_undispatched(claimed, 0);
+      co_return;
+    }
     if (w.connected) w.sock->send(make_run_message(tid, spec.argv, spec.vars));
   } else {
     co_await sim::delay(config_.mpi_job_overhead);
+    if (job.rec.status != JobStatus::kRunning) {
+      release_undispatched(claimed, 0);
+      co_return;
+    }
     pmi::MpiexecSpec mspec;
     mspec.user_argv = spec.argv;
     mspec.nprocs = spec.nprocs;
@@ -317,10 +374,14 @@ sim::Task<void> Service::place_job(JobId id) {
     job.mpx->start();
     const auto cmds = job.mpx->proxy_commands();
     for (std::size_t k = 0; k < cmds.size(); ++k) {
-      Worker& w = workers_.at(job.assigned.at(k));
+      Worker& w = workers_.at(claimed.at(k));
       const std::string tid = "t" + std::to_string(next_task_++);
       w.task_id = tid;
       co_await sim::delay(config_.dispatch_overhead);
+      if (job.rec.status != JobStatus::kRunning) {
+        release_undispatched(claimed, k);  // w never got its run message
+        co_return;
+      }
       if (w.connected) w.sock->send(make_run_message(tid, cmds[k], {}));
     }
     // Completion is observed through mpiexec, whose output JETS checks.
@@ -353,6 +414,10 @@ void Service::job_finished(JobId id, int status) {
       }
     }
   }
+  // Note: assigned workers' liveness timers stay armed. A straggler that
+  // is itself hung would otherwise leak as busy-forever once its job has
+  // settled; the pending check evicts it instead. Responsive stragglers
+  // cancel the timer through their done/ready cycle.
   for (WorkerId wid : job.assigned) {
     Worker& w = workers_.at(wid);
     if (w.job == id) w.job = 0;
@@ -388,6 +453,83 @@ void Service::job_finished(JobId id, int status) {
   }
   kick();
   check_all_done();
+}
+
+// --- Worker liveness ---------------------------------------------------------
+
+void Service::liveness_check(WorkerId wid) {
+  auto it = workers_.find(wid);
+  if (it == workers_.end()) return;
+  Worker& w = it->second;
+  // Only busy workers are under a liveness deadline: an idle worker owes
+  // us nothing (and pinging while idle would keep the simulation alive
+  // forever — see WorkerConfig::heartbeat_interval).
+  if (!w.connected || w.evicted || !w.busy) return;
+  const sim::Duration elapsed = machine_->engine().now() - w.last_heard;
+  if (elapsed >= config_.worker_liveness_timeout) {
+    evict_worker(wid);
+  } else {
+    // Heard from it since the timer was armed; re-check when the current
+    // silence would exceed the deadline.
+    w.liveness_timer = machine_->engine().call_in(
+        config_.worker_liveness_timeout - elapsed,
+        [this, wid] { liveness_check(wid); });
+  }
+}
+
+void Service::evict_worker(WorkerId wid) {
+  Worker& w = workers_.at(wid);
+  if (!w.connected || w.evicted) return;
+  // Disregard, don't disconnect: the socket stays open so a worker that
+  // was merely wedged (stall drains, hang released) can announce itself
+  // with "ready" and be re-enlisted.
+  w.evicted = true;
+  w.connected = false;
+  --connected_;
+  ++evicted_;
+  ++node_evictions_[w.node];
+  w.liveness_timer.cancel();
+  std::erase(ready_, wid);
+  if (w.busy && w.job != 0) {
+    // The in-flight attempt cannot be trusted to finish; fail it so the
+    // job retries on live workers ("minimizing their impact", §5).
+    job_finished(w.job, /*status=*/1);
+  }
+}
+
+bool Service::node_blacklisted(os::NodeId node) const {
+  if (config_.blacklist_after <= 0) return false;
+  auto it = node_evictions_.find(node);
+  return it != node_evictions_.end() && it->second >= config_.blacklist_after;
+}
+
+void Service::release_undispatched(const std::vector<WorkerId>& claimed,
+                                   std::size_t from_idx) {
+  bool released = false;
+  for (std::size_t k = from_idx; k < claimed.size(); ++k) {
+    Worker& w = workers_.at(claimed[k]);
+    // Only a healthy, still-claimed worker goes back to the pool; evicted
+    // or disconnected ones are already accounted for elsewhere.
+    if (!w.connected || w.evicted || !w.busy || w.job != 0) continue;
+    w.busy = false;
+    w.task_id.clear();
+    w.liveness_timer.cancel();
+    ready_.push_back(claimed[k]);
+    released = true;
+  }
+  if (released) kick();
+}
+
+bool Service::ready_pool_consistent() const {
+  std::set<WorkerId> seen;
+  for (WorkerId wid : ready_) {
+    if (!seen.insert(wid).second) return false;  // duplicate entry
+    auto it = workers_.find(wid);
+    if (it == workers_.end()) return false;
+    const Worker& w = it->second;
+    if (!w.connected || w.busy || w.evicted) return false;
+  }
+  return true;
 }
 
 }  // namespace jets::core

@@ -67,6 +67,19 @@ class Service {
     bool network_aware_grouping = false;
     /// Applied to jobs whose spec has no timeout; 0 = none.
     sim::Duration default_job_timeout = 0;
+    /// Liveness deadline for *busy* workers: a worker that has been silent
+    /// this long after being handed work is disregarded — removed from the
+    /// pools, its job attempt failed so it retries elsewhere (§5 feature 3:
+    /// "disregards workers that fail or hang"). Catches hung pilots whose
+    /// socket stays open, which EOF detection alone cannot. Pair with
+    /// WorkerConfig::heartbeat_interval (< this) so long-running tasks are
+    /// not mistaken for hangs. 0 disables.
+    sim::Duration worker_liveness_timeout = 0;
+    /// After this many evictions from the same node, refuse that node's
+    /// workers entirely (registration and re-enlistment) — a crude
+    /// bad-node blacklist. 0 disables (evicted workers may re-enlist by
+    /// sending "ready" again, e.g. after a stall drains).
+    int blacklist_after = 0;
   };
 
   /// Observation hooks for benchmark harnesses.
@@ -119,6 +132,16 @@ class Service {
   std::size_t completed_jobs() const { return completed_; }
   std::size_t failed_jobs() const { return failed_; }
 
+  // Liveness/eviction counters (chaos benches and the fault-matrix tests).
+  std::size_t evicted_workers() const { return evicted_; }
+  std::size_t reenlisted_workers() const { return reenlisted_; }
+  std::size_t heartbeats_received() const { return heartbeats_; }
+  std::size_t blacklist_rejections() const { return blacklist_rejections_; }
+
+  /// Test hook: the ready pool holds no duplicates and only workers that
+  /// are connected, idle, and not evicted.
+  bool ready_pool_consistent() const;
+
  private:
   using WorkerId = std::uint64_t;
 
@@ -128,8 +151,15 @@ class Service {
     net::SocketPtr sock;
     bool connected = false;
     bool busy = false;
+    /// Disregarded for liveness (socket may still be open). An evicted
+    /// worker that sends "ready" again is re-enlisted unless blacklisted.
+    bool evicted = false;
     JobId job = 0;  // 0 = none
     std::string task_id;  // task currently assigned to this worker
+    /// Last time any message arrived from this worker.
+    sim::Time last_heard = 0;
+    /// Armed while busy when worker_liveness_timeout > 0.
+    sim::TimerHandle liveness_timer;
   };
 
   struct Job {
@@ -159,6 +189,15 @@ class Service {
   void deadline_expired(JobId id);
   void check_all_done();
 
+  /// Liveness machinery (§5 feature 3 taken beyond EOF detection).
+  void liveness_check(WorkerId wid);
+  void evict_worker(WorkerId wid);
+  bool node_blacklisted(os::NodeId node) const;
+  /// Returns claimed-but-never-dispatched workers to the ready pool when a
+  /// job settles mid-placement (otherwise they would leak as busy).
+  void release_undispatched(const std::vector<WorkerId>& claimed,
+                            std::size_t from_idx);
+
   os::Machine* machine_;
   const os::AppRegistry* apps_;
   os::NodeId host_;
@@ -186,10 +225,15 @@ class Service {
     std::unique_ptr<sim::Gate> done;
   };
   std::map<std::string, StageOp> staging_;
+  std::map<os::NodeId, int> node_evictions_;
   std::size_t connected_ = 0;
   std::size_t running_ = 0;
   std::size_t completed_ = 0;
   std::size_t failed_ = 0;
+  std::size_t evicted_ = 0;
+  std::size_t reenlisted_ = 0;
+  std::size_t heartbeats_ = 0;
+  std::size_t blacklist_rejections_ = 0;
 };
 
 }  // namespace jets::core

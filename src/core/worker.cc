@@ -31,11 +31,31 @@ RunRequest parse_run_message(const net::Message& m) {
 
 namespace {
 
-/// State shared between the worker's receive loop and its task wrappers.
+/// State shared between the worker's receive loop, its task wrappers, and
+/// its heartbeat actor.
 struct WorkerState {
   net::SocketPtr sock;
   /// Tasks started but not yet reported done (task id -> pid).
   std::map<std::string, os::Machine::Pid> outstanding;
+  /// Chaos hang control, if a registry was configured (null otherwise).
+  std::shared_ptr<WorkerHangControl> ctl;
+  /// Open while `outstanding` is non-empty; the heartbeat actor parks on
+  /// it when the worker is idle so an idle worker generates *no* events
+  /// (the engine's run-to-quiescence termination depends on that). Only
+  /// allocated when heartbeats are enabled.
+  std::unique_ptr<sim::Gate> work_gate;
+  /// Set on worker shutdown so the heartbeat actor exits.
+  bool closed = false;
+
+  bool hung() const { return ctl && ctl->hung(); }
+  void track_work() {
+    if (!work_gate) return;
+    if (outstanding.empty()) {
+      work_gate->close();
+    } else {
+      work_gate->open();
+    }
+  }
 };
 
 /// Wraps one task execution: resolves and runs the command, then reports
@@ -55,18 +75,51 @@ sim::Task<void> task_wrapper(os::Machine* machine, const os::AppRegistry* apps,
   } catch (...) {
     status = 1;
   }
+  // A hung pilot stops *reporting*: the application process may well have
+  // finished, but the wrapper script that would send "done" is frozen.
+  if (state->hung()) co_await state->ctl->gate().wait();
   // If a "kill" raced ahead of completion, the kill handler already
   // reported this task; avoid a duplicate done/ready pair.
   if (state->outstanding.erase(req.task_id) == 0) co_return;
+  state->track_work();
   state->sock->send(net::Message(
       kMsgDone, {req.task_id, std::to_string(status)}));
   state->sock->send(net::Message(kMsgReady));
+}
+
+/// While the worker has tasks outstanding, pings the service every
+/// `interval` so the service-side liveness deadline can distinguish "busy
+/// on a long task" from "hung". Parks silently (no events) while idle or
+/// hung. Runs as a child process of the pilot so a pilot kill reaps it.
+sim::Task<void> heartbeat_loop(std::shared_ptr<WorkerState> state,
+                               sim::Duration interval) {
+  for (;;) {
+    if (state->closed) co_return;
+    if (state->outstanding.empty()) {
+      co_await state->work_gate->wait();
+      continue;  // re-check closed/hung after waking
+    }
+    if (state->hung()) {
+      co_await state->ctl->gate().wait();
+      continue;
+    }
+    state->sock->send(net::Message(kMsgPing));
+    co_await sim::delay(interval);
+  }
 }
 
 sim::Task<void> worker_main(const os::AppRegistry* apps, WorkerConfig config,
                             os::Env& env) {
   os::Machine& machine = *env.machine;
   os::Node& node = machine.node(env.node);
+
+  // Expose a hang control to the chaos layer before doing anything else so
+  // a fault plan can freeze this pilot at any point of its life.
+  std::shared_ptr<WorkerHangControl> ctl;
+  if (config.hang_registry) {
+    ctl = std::make_shared<WorkerHangControl>(machine.engine(), env.node);
+    config.hang_registry->controls.push_back(ctl);
+  }
 
   // Stage files into node-local storage before taking work (§5 feature 2).
   for (const std::string& file : config.stage_files) {
@@ -78,6 +131,7 @@ sim::Task<void> worker_main(const os::AppRegistry* apps, WorkerConfig config,
   }
 
   auto state = std::make_shared<WorkerState>();
+  state->ctl = std::move(ctl);
   try {
     state->sock = co_await machine.network().connect(env.node, config.service);
   } catch (const net::ConnectError&) {
@@ -86,9 +140,23 @@ sim::Task<void> worker_main(const os::AppRegistry* apps, WorkerConfig config,
   state->sock->send(net::Message(kMsgRegister, {std::to_string(env.node)}));
   state->sock->send(net::Message(kMsgReady));
 
+  os::Machine::Pid hb_pid = 0;
+  if (config.heartbeat_interval > 0) {
+    state->work_gate = std::make_unique<sim::Gate>(machine.engine());
+    os::ExecOptions hb_opts;
+    hb_opts.charge_fork = false;  // in-pilot thread of the wrapper script
+    hb_pid = machine.exec(env.node, "jets-heartbeat",
+                          heartbeat_loop(state, config.heartbeat_interval),
+                          std::move(hb_opts));
+  }
+
   for (;;) {
     auto m = co_await state->sock->recv();
-    if (!m) co_return;  // service closed / died: pilot exits
+    // A hung pilot's receive loop freezes *here*: bytes keep landing in
+    // the socket inbox (the connection stays open — the service sees
+    // silence, not EOF) but nothing is handled until release.
+    if (state->hung()) co_await state->ctl->gate().wait();
+    if (!m) break;  // service closed / died: pilot exits
     if (m->tag == kMsgRun) {
       RunRequest req = parse_run_message(*m);
       // The per-task wrapper cost plus binary load (node-local if staged).
@@ -104,14 +172,20 @@ sim::Task<void> worker_main(const os::AppRegistry* apps, WorkerConfig config,
           task_wrapper(&machine, apps, env.node, std::move(req), state),
           std::move(opts));
       state->outstanding[task_id] = pid;
+      state->track_work();
       if (config.task_watchdog > 0) {
         machine.engine().call_in(
             config.task_watchdog,
             [state, task_id, pid, machine_ptr = &machine] {
+              // The watchdog is part of the frozen wrapper script: while
+              // hung it cannot fire (and it does not re-arm — on release
+              // the task wrapper reports the task normally).
+              if (state->hung()) return;
               auto it = state->outstanding.find(task_id);
               if (it == state->outstanding.end() || it->second != pid) return;
               machine_ptr->kill(pid);
               state->outstanding.erase(it);
+              state->track_work();
               if (state->sock) {
                 state->sock->send(net::Message(kMsgDone, {task_id, "124"}));
                 state->sock->send(net::Message(kMsgReady));
@@ -124,6 +198,7 @@ sim::Task<void> worker_main(const os::AppRegistry* apps, WorkerConfig config,
       if (it != state->outstanding.end()) {
         machine.kill(it->second);
         state->outstanding.erase(it);
+        state->track_work();
         state->sock->send(net::Message(kMsgDone, {task_id, "137"}));
         state->sock->send(net::Message(kMsgReady));
       }
@@ -135,6 +210,12 @@ sim::Task<void> worker_main(const os::AppRegistry* apps, WorkerConfig config,
       state->sock->send(net::Message(kMsgStaged, {path}));
     }
   }
+
+  // Natural exit (service closed the connection). A pilot *kill* reaps the
+  // heartbeat via the process tree; here we must reap it ourselves.
+  state->closed = true;
+  if (state->work_gate) state->work_gate->open();
+  if (hb_pid != 0) machine.kill(hb_pid);
 }
 
 }  // namespace

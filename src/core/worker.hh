@@ -14,15 +14,51 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "net/socket.hh"
 #include "os/machine.hh"
 #include "os/program.hh"
+#include "sim/sync.hh"
 #include "sim/time.hh"
 
 namespace jets::core {
+
+/// Hang fault primitive (chaos class 3): freezes a pilot's task-handling —
+/// inbound messages stop being processed, completed tasks stop being
+/// reported, heartbeats stop — while the worker's socket stays *open*, so
+/// the service sees silence rather than EOF. This is the failure mode §5's
+/// "disregards workers that fail or hang" must catch without TCP's help.
+class WorkerHangControl {
+ public:
+  WorkerHangControl(sim::Engine& engine, os::NodeId node)
+      : node_(node), resume_(engine) {
+    resume_.open();
+  }
+
+  os::NodeId node() const noexcept { return node_; }
+  bool hung() const noexcept { return !resume_.is_open(); }
+
+  void hang() { resume_.close(); }
+  void release() { resume_.open(); }
+
+  /// Awaited by the worker's actors at every handling point; blocks while
+  /// hung, passes through instantly otherwise.
+  sim::Gate& gate() { return resume_; }
+
+ private:
+  os::NodeId node_;
+  sim::Gate resume_;
+};
+
+/// Hands each started worker's hang control to the chaos layer. Shared by
+/// value through WorkerConfig; workers register themselves at startup, in
+/// deterministic start order.
+struct WorkerHangRegistry {
+  std::vector<std::shared_ptr<WorkerHangControl>> controls;
+};
 
 struct WorkerConfig {
   /// The JETS service to register with.
@@ -39,6 +75,14 @@ struct WorkerConfig {
   /// the pilot slot — the "hang" half of §5's fault-tolerance claim.
   /// 0 disables.
   sim::Duration task_watchdog = 0;
+  /// Liveness heartbeat: while the worker has tasks outstanding it pings
+  /// the service every interval, so the service can tell "busy on a long
+  /// task" from "hung with the socket still open". 0 disables. Pair with
+  /// Service::Config::worker_liveness_timeout (> this interval).
+  sim::Duration heartbeat_interval = 0;
+  /// When set, the worker registers a hang control here at startup so a
+  /// chaos plan can freeze it (see WorkerHangControl).
+  std::shared_ptr<WorkerHangRegistry> hang_registry;
 };
 
 /// Protocol tags between worker and service (also used by Coasters):
@@ -46,6 +90,7 @@ struct WorkerConfig {
 ///                       "ready"                idle, requesting work
 ///                       "done" [task, status]  task finished/killed
 ///                       "staged" [path]        stage-in written locally
+///                       "hb"                   liveness ping while busy
 ///   service -> worker:  "run" [task, n, argv..., k=v...]
 ///                       "kill" [task]
 ///                       "stagein" [path] + payload bytes (data channel:
@@ -53,6 +98,7 @@ struct WorkerConfig {
 inline constexpr const char* kMsgRegister = "reg";
 inline constexpr const char* kMsgReady = "ready";
 inline constexpr const char* kMsgDone = "done";
+inline constexpr const char* kMsgPing = "hb";
 inline constexpr const char* kMsgRun = "run";
 inline constexpr const char* kMsgKill = "kill";
 inline constexpr const char* kMsgStageIn = "stagein";

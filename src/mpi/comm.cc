@@ -117,6 +117,11 @@ constexpr int kCollTag = -1000003;
 }  // namespace
 
 sim::Task<std::size_t> Comm::bcast(std::size_t bytes, int root) {
+  if (root < 0 || root >= size_) {
+    throw std::invalid_argument("bcast: root " + std::to_string(root) +
+                                " out of range for size " +
+                                std::to_string(size_));
+  }
   if (size_ == 1) co_return bytes;
   const int vrank = (rank_ - root + size_) % size_;
   auto real = [this, root](int v) { return (v + root) % size_; };
@@ -142,6 +147,11 @@ sim::Task<std::size_t> Comm::bcast(std::size_t bytes, int root) {
 }
 
 sim::Task<double> Comm::reduce_sum(double value, int root) {
+  if (root < 0 || root >= size_) {
+    throw std::invalid_argument("reduce_sum: root " + std::to_string(root) +
+                                " out of range for size " +
+                                std::to_string(size_));
+  }
   if (size_ == 1) co_return value;
   const int vrank = (rank_ - root + size_) % size_;
   auto real = [this, root](int v) { return (v + root) % size_; };

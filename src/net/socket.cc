@@ -1,5 +1,6 @@
 #include "net/socket.hh"
 
+#include <algorithm>
 #include <utility>
 
 namespace jets::net {
@@ -21,14 +22,19 @@ NodeId Socket::remote_node() const { return is_a_ ? conn_->node_b : conn_->node_
 sim::Time Socket::queue_on_wire(const Message& m) {
   // Sender-side wire clock: serialization occupies the link back-to-back,
   // so a burst of sends is delivered FIFO at link bandwidth; each message
-  // additionally ages by the one-way fabric latency in flight.
+  // additionally ages by the one-way fabric latency in flight. A stalled
+  // sender serializes only after its stall window; a stalled receiver has
+  // delivery deferred to its window's end (both keep FIFO order because
+  // the deferral point is monotone in the send time).
   sim::Engine& engine = net_->engine();
   const Fabric& fabric = net_->fabric();
   detail::Pipe& pipe = out();
-  const sim::Time start = std::max(engine.now(), pipe.wire_free_at);
+  const sim::Time start = std::max({engine.now(), pipe.wire_free_at,
+                                    net_->stall_until(local_node())});
   const sim::Time sent = start + fabric.serialization_time(m.wire_size());
   pipe.wire_free_at = sent;
-  return sent + fabric.latency(local_node(), remote_node());
+  return std::max(sent + fabric.latency(local_node(), remote_node()),
+                  net_->stall_until(remote_node()));
 }
 
 void Socket::send(Message m) {
@@ -45,10 +51,11 @@ void Socket::send(Message m) {
 
 sim::Task<void> Socket::send_sync(Message m) {
   if (!open_ || out().closed) co_return;
-  const sim::Time sent_at = queue_on_wire(m) -
-                            net_->fabric().latency(local_node(), remote_node());
-  const sim::Time deliver_at =
-      sent_at + net_->fabric().latency(local_node(), remote_node());
+  const sim::Time deliver_at = queue_on_wire(m);
+  // queue_on_wire advanced the wire clock to the instant the payload has
+  // fully left this endpoint (stalls included); that is what the sender
+  // holds resources until.
+  const sim::Time sent_at = out().wire_free_at;
   auto conn = conn_;
   const bool to_b = is_a_;
   net_->engine().call_at(deliver_at, [conn, to_b, m = std::move(m)]() mutable {
@@ -128,10 +135,46 @@ sim::Task<SocketPtr> Network::connect(NodeId from, Address to) {
   auto it = listeners_.find(to);
   if (it == listeners_.end() || !it->second->open_) throw ConnectError(to);
   auto conn = std::make_shared<detail::Connection>(*engine_, from, to.node);
+  connections_.push_back(conn);
   auto client = std::make_shared<Socket>(*this, conn, /*is_a=*/true);
   auto server = std::make_shared<Socket>(*this, conn, /*is_a=*/false);
   it->second->pending_.push(std::move(server));
   co_return client;
+}
+
+// --- Fault hooks -------------------------------------------------------------
+
+void Network::stall_node(NodeId node, sim::Duration d) {
+  if (d <= 0) return;
+  sim::Time& until = stalled_[node];
+  until = std::max(until, engine_->now() + d);
+}
+
+sim::Time Network::stall_until(NodeId node) const {
+  auto it = stalled_.find(node);
+  return it == stalled_.end() ? 0 : it->second;
+}
+
+std::size_t Network::reset_node(NodeId node) {
+  std::size_t reset = 0;
+  std::vector<std::weak_ptr<detail::Connection>> live;
+  live.reserve(connections_.size());
+  for (auto& weak : connections_) {
+    auto conn = weak.lock();
+    if (!conn) continue;  // all endpoints gone: prune
+    live.push_back(weak);
+    if (conn->node_a != node && conn->node_b != node) continue;
+    if (conn->a_to_b.closed && conn->b_to_a.closed) continue;  // already dead
+    // RST semantics: both directions die *now* — in-flight bytes vanish
+    // and both ends' pending/future receives complete with EOF.
+    for (detail::Pipe* pipe : {&conn->a_to_b, &conn->b_to_a}) {
+      pipe->closed = true;
+      if (!pipe->inbox.closed()) pipe->inbox.close();
+    }
+    ++reset;
+  }
+  connections_ = std::move(live);
+  return reset;
 }
 
 }  // namespace jets::net

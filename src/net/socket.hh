@@ -20,6 +20,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "net/fabric.hh"
 #include "net/message.hh"
@@ -142,6 +143,13 @@ class Listener {
 
 /// The machine-wide socket namespace: binds listeners, establishes
 /// connections, and owns the fabric timing model.
+///
+/// Fault hooks (driven by core::ChaosEngine): the network can stall a node
+/// — every message *sent* from or *delivered to* it during the window is
+/// held until the window closes, modelling a paused NIC/TCP stack — or
+/// reset a node, RST-closing every established connection that touches it.
+/// Both are deterministic: a stall only affects messages queued after the
+/// injection, and resets fire at the current simulated time.
 class Network {
  public:
   Network(sim::Engine& engine, std::shared_ptr<const Fabric> fabric)
@@ -162,13 +170,33 @@ class Network {
   /// Number of live bound listeners (diagnostics).
   std::size_t listener_count() const { return listeners_.size(); }
 
+  // --- Fault hooks ------------------------------------------------------
+
+  /// Freezes `node`'s traffic for `d`: sends originating there serialize
+  /// only after the window, and in-window deliveries to it are deferred to
+  /// the window's end. Overlapping stalls extend to the latest deadline.
+  void stall_node(NodeId node, sim::Duration d);
+
+  /// Absolute time until which `node` is stalled (0 = not stalled).
+  sim::Time stall_until(NodeId node) const;
+
+  /// RST-closes every live connection with an endpoint on `node`: both
+  /// directions see EOF immediately, exactly as if the peer vanished.
+  /// Listeners stay bound (the node's OS is alive; only its connections
+  /// are torn). Returns the number of connections reset.
+  std::size_t reset_node(NodeId node);
+
  private:
   friend class Listener;
+  friend class Socket;
   void unbind(Address addr) { listeners_.erase(addr); }
 
   sim::Engine* engine_;
   std::shared_ptr<const Fabric> fabric_;
   std::map<Address, Listener*> listeners_;
+  /// Live connections, for reset_node; pruned opportunistically.
+  std::vector<std::weak_ptr<detail::Connection>> connections_;
+  std::map<NodeId, sim::Time> stalled_;
 };
 
 }  // namespace jets::net

@@ -95,8 +95,16 @@ sim::Task<void> Machine::load_binary(NodeId node, const std::string& binary) {
 sim::Task<void> Machine::run_process(NodeId node, sim::Task<void> body,
                                      ExecOptions opts) {
   const NodeSpec& spec = this->node(node).spec();
-  if (opts.charge_fork) co_await sim::delay(spec.fork_exec);
-  if (opts.extra_startup > 0) co_await sim::delay(opts.extra_startup);
+  // A chaos-degraded node pays its exec multiplier on fork and wrapper
+  // startup; the scale is sampled per charge, so healing mid-run takes
+  // effect on the next exec.
+  auto exec_cost = [this, node](sim::Duration d) {
+    const double scale = this->node(node).exec_scale();
+    if (scale == 1.0) return d;
+    return static_cast<sim::Duration>(static_cast<double>(d) * scale + 0.5);
+  };
+  if (opts.charge_fork) co_await sim::delay(exec_cost(spec.fork_exec));
+  if (opts.extra_startup > 0) co_await sim::delay(exec_cost(opts.extra_startup));
   if (!opts.binary.empty()) co_await load_binary(node, opts.binary);
   co_await std::move(body);
 }

@@ -78,12 +78,25 @@ class Node {
     resident_binaries_.insert(path);
   }
 
+  /// Slow-node fault model (chaos class 4): multipliers applied to this
+  /// node's fork/exec cost and to model compute time (see
+  /// Machine::scale_compute). 1.0 = healthy; >1 = degraded (thermal
+  /// throttling, a sick DIMM, a noisy neighbour on shared hardware).
+  double exec_scale() const noexcept { return exec_scale_; }
+  double compute_scale() const noexcept { return compute_scale_; }
+  void set_slowdown(double exec_scale, double compute_scale) {
+    exec_scale_ = exec_scale;
+    compute_scale_ = compute_scale;
+  }
+
  private:
   NodeId id_;
   NodeSpec spec_;
   LocalFs local_fs_;
   sim::Semaphore cores_;
   std::set<std::string> resident_binaries_;
+  double exec_scale_ = 1.0;
+  double compute_scale_ = 1.0;
 };
 
 /// Options for launching a simulated process.
@@ -124,6 +137,24 @@ class Machine {
     return static_cast<NodeId>(spec_.compute_nodes);
   }
   Node& node(NodeId id) { return *nodes_.at(id); }
+  const Node& node(NodeId id) const { return *nodes_.at(id); }
+
+  /// Degrades `node`: fork/exec (and wrapper startup) costs are multiplied
+  /// by `exec_scale`, and durations passed through scale_compute by
+  /// `compute_scale`. Pass 1.0/1.0 to heal the node.
+  void set_node_slowdown(NodeId node, double exec_scale,
+                         double compute_scale) {
+    this->node(node).set_slowdown(exec_scale, compute_scale);
+  }
+
+  /// Applies `node`'s compute multiplier to a model duration. Application
+  /// models (apps/synthetic, apps/namd) route their compute delays through
+  /// this so a chaos-degraded node visibly stretches task wall times.
+  sim::Duration scale_compute(NodeId node, sim::Duration d) const {
+    const double scale = this->node(node).compute_scale();
+    if (scale == 1.0) return d;
+    return static_cast<sim::Duration>(static_cast<double>(d) * scale + 0.5);
+  }
 
   net::Network& network() { return network_; }
   SharedFs& shared_fs() { return shared_fs_; }

@@ -271,6 +271,74 @@ TEST(Standalone, NetworkAwareGroupingPicksContiguousNodes) {
   EXPECT_EQ(r.completed, 1u);
 }
 
+TEST(Standalone, DeadlineMidPlacementFailsJobAndFreesWorker) {
+  // The deadline fires while the run message is still being serialized
+  // through the dispatcher: the job must settle at the deadline (not hang
+  // in kRunning waiting for a worker that never heard of the task), and
+  // the claimed worker must come back to the ready pool.
+  JetsBed bed(os::Machine::breadboard(1));
+  StandaloneOptions opts;
+  opts.service.dispatch_overhead = sim::seconds(10);
+  opts.service.max_attempts = 3;
+  StandaloneJets jets(bed.machine, bed.apps, opts);
+  jets.start(JetsBed::nodes(1));
+  JobSpec doomed = seq_job({"sleep", "1"});
+  doomed.timeout = sim::seconds(5);  // expires mid-dispatch
+  BatchReport r = bed.run(jets, {doomed});
+  EXPECT_EQ(r.failed, 1u);
+  EXPECT_EQ(r.records[0].status, JobStatus::kFailed);
+  // Settled at the deadline, with no retry (the deadline is final).
+  EXPECT_EQ(r.records[0].finished_at, sim::seconds(5));
+  // The claimed worker was released, not leaked as busy-forever.
+  EXPECT_TRUE(jets.service().ready_pool_consistent());
+  EXPECT_EQ(jets.service().ready_workers(), 1u);
+  // And it still does useful work afterwards.
+  BatchReport r2 = bed.run(jets, {seq_job({"sleep", "0.5"})});
+  EXPECT_EQ(r2.completed, 1u);
+}
+
+TEST(Standalone, MaxAttemptsExhaustedByWorkerDeaths) {
+  // Every attempt lands on a worker that dies under it: the job burns
+  // through max_attempts and is declared failed — it must not requeue
+  // forever on an allocation that keeps eating it.
+  JetsBed bed(os::Machine::breadboard(2));
+  StandaloneOptions opts = bed.fast_options();
+  opts.service.max_attempts = 2;
+  StandaloneJets jets(bed.machine, bed.apps, opts);
+  jets.start(JetsBed::nodes(2));
+  bed.engine.call_at(sim::seconds(1),
+                     [&] { bed.machine.kill(jets.worker_pids()[0]); });
+  bed.engine.call_at(sim::seconds(3),
+                     [&] { bed.machine.kill(jets.worker_pids()[1]); });
+  BatchReport r = bed.run(jets, {seq_job({"sleep", "100"})});
+  EXPECT_EQ(r.failed, 1u);
+  EXPECT_EQ(r.records[0].status, JobStatus::kFailed);
+  EXPECT_EQ(r.records[0].attempts, 2);
+  EXPECT_EQ(jets.service().connected_workers(), 0u);
+}
+
+TEST(Standalone, WaitJobOnSettledOrUnknownJobReturnsImmediately) {
+  JetsBed bed(os::Machine::breadboard(1));
+  StandaloneJets jets(bed.machine, bed.apps, bed.fast_options());
+  jets.start(JetsBed::nodes(1));
+  BatchReport r = bed.run(jets, {seq_job({"sleep", "0.5"})});
+  ASSERT_EQ(r.completed, 1u);
+  const JobId done_id = r.records[0].id;
+  const sim::Time settled_at = bed.engine.now();
+  // Waiting on an already-settled job — and on an id that was never
+  // submitted — completes without advancing time.
+  bool waited = false;
+  bed.engine.spawn("late-waiter", [](Service& svc, JobId id,
+                                     bool& waited) -> sim::Task<void> {
+    co_await svc.wait_job(id);
+    co_await svc.wait_job(static_cast<JobId>(999'999));
+    waited = true;
+  }(jets.service(), done_id, waited));
+  bed.engine.run();
+  EXPECT_TRUE(waited);
+  EXPECT_EQ(bed.engine.now(), settled_at);
+}
+
 TEST(Standalone, UtilizationHighForOneSecondTasks) {
   // The headline Fig 7 claim: ~90 % utilization for single-second MPI
   // tasks through JETS.

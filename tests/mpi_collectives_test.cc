@@ -43,7 +43,7 @@ TEST_P(CollectivesTest, BcastReachesEveryRank) {
 
 TEST_P(CollectivesTest, BcastWithNonzeroRoot) {
   const int n = GetParam();
-  if (n < 2) GTEST_SKIP();
+  // For n == 1 the "last rank" root degenerates to 0 — still a valid case.
   TestBed bed(os::Machine::breadboard(static_cast<std::size_t>(n)));
   const int root = n - 1;
   int correct = 0;
@@ -59,6 +59,32 @@ TEST_P(CollectivesTest, BcastWithNonzeroRoot) {
   auto mpx = bed.launch_manual(spec, hosts(n));
   ASSERT_EQ(bed.run_to_completion(*mpx), 0);
   EXPECT_EQ(correct, n);
+}
+
+TEST(Collectives, InvalidRootThrows) {
+  constexpr int n = 4;
+  TestBed bed(os::Machine::breadboard(n));
+  int caught = 0;
+  bed.install_app("badroot", [&caught](Env& env) -> Task<void> {
+    auto comm = co_await Comm::init(env);
+    try {
+      co_await comm->bcast(64, /*root=*/n);  // one past the last rank
+    } catch (const std::invalid_argument&) {
+      ++caught;
+    }
+    try {
+      co_await comm->reduce_sum(1.0, /*root=*/-1);
+    } catch (const std::invalid_argument&) {
+      ++caught;
+    }
+    co_await comm->finalize();
+  });
+  pmi::MpiexecSpec spec;
+  spec.user_argv = {"badroot"};
+  spec.nprocs = n;
+  auto mpx = bed.launch_manual(spec, hosts(n));
+  ASSERT_EQ(bed.run_to_completion(*mpx), 0);
+  EXPECT_EQ(caught, 2 * n);  // every rank rejected both bad roots
 }
 
 TEST_P(CollectivesTest, ReduceSumsAllContributions) {

@@ -3,7 +3,11 @@
 // every submitted job settles, bookkeeping balances, nothing deadlocks.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+
 #include "apps/synthetic.hh"
+#include "core/chaos.hh"
 #include "core/faults.hh"
 #include "core/standalone.hh"
 #include "testbed.hh"
@@ -97,6 +101,162 @@ TEST_P(JetsStressTest, RandomMixedWorkloadAlwaysSettles) {
 INSTANTIATE_TEST_SUITE_P(Seeds, JetsStressTest,
                          ::testing::Values<std::uint64_t>(1, 2, 3, 13, 77,
                                                           1001, 424242));
+
+// --- Chaos property test -----------------------------------------------------
+//
+// Like the stress test above, but the faults come from a random schedule
+// over *all* chaos fault classes (kill, socket close, stall, hang, slow
+// node), with the heartbeat/liveness machinery turned on. Each run is
+// rebuilt from scratch from its seed, so running it twice must reproduce
+// the exact same end state — the determinism half of the property.
+
+/// Everything observable about one chaos run, serialized for comparison.
+struct ChaosRunOutcome {
+  BatchReport report;
+  std::size_t njobs = 0;
+  int max_attempts = 0;
+  bool settled = false;
+  bool ready_pool_ok = false;
+  std::size_t running = 0;
+  std::size_t pending = 0;
+  std::string fingerprint;
+};
+
+ChaosRunOutcome run_chaos_stress(std::uint64_t seed) {
+  sim::Rng rng(seed);
+  constexpr std::size_t kNodes = 16;
+  StressBed bed(os::Machine::breadboard(kNodes));
+  StandaloneOptions options;
+  options.worker.task_overhead = sim::milliseconds(3);
+  options.worker.stage_files = {pmi::kProxyBinary, "mpi_sleep"};
+  options.service.max_attempts = 8;
+  options.worker.heartbeat_interval = sim::milliseconds(500);
+  options.service.worker_liveness_timeout = sim::seconds(3);
+  auto registry = std::make_shared<WorkerHangRegistry>();
+  options.worker.hang_registry = registry;
+  StandaloneJets jets(bed.machine, bed.apps, options);
+  std::vector<os::NodeId> alloc;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    alloc.push_back(static_cast<os::NodeId>(i));
+  }
+  jets.start(alloc);
+
+  // Random job mix: sequential and small-MPI, some with deadlines.
+  std::vector<JobSpec> jobs;
+  const int njobs = 30 + static_cast<int>(seed % 40);
+  for (int i = 0; i < njobs; ++i) {
+    JobSpec s;
+    const double dur = rng.uniform(0.2, 4.0);
+    if (rng.bernoulli(0.4)) {
+      s.kind = JobKind::kMpi;
+      s.nprocs = static_cast<int>(rng.uniform_int(2, 8));
+      s.argv = {"mpi_sleep", std::to_string(dur)};
+    } else {
+      s.argv = {"sleep", std::to_string(dur)};
+    }
+    if (rng.bernoulli(0.15)) {
+      s.timeout = rng.uniform_duration(sim::seconds(2), sim::seconds(120));
+    }
+    jobs.push_back(std::move(s));
+  }
+
+  // Random fault schedule across every fault class. Hangs and stalls are
+  // time-bounded and slow nodes heal, so the pool never shrinks below
+  // what kills take — the batch must always settle.
+  ChaosEngine chaos(bed.machine, rng.fork("chaos"));
+  chaos.set_pilots(jets.worker_pids());
+  chaos.set_hang_registry(registry);
+  const int nfaults = 4 + static_cast<int>(seed % 5);
+  int kills = 0;
+  for (int i = 0; i < nfaults; ++i) {
+    Fault f;
+    f.at = rng.uniform_duration(sim::seconds(2), sim::seconds(40));
+    switch (rng.uniform_int(0, 4)) {
+      case 0:
+        // At most a quarter of the pool dies outright.
+        if (kills >= static_cast<int>(kNodes) / 4) continue;
+        ++kills;
+        f.kind = FaultKind::kKillPilot;
+        break;
+      case 1:
+        f.kind = FaultKind::kSocketClose;
+        break;
+      case 2:
+        f.kind = FaultKind::kSocketStall;
+        f.duration = rng.uniform_duration(sim::seconds(2), sim::seconds(10));
+        break;
+      case 3:
+        f.kind = FaultKind::kHangWorker;
+        f.duration = rng.uniform_duration(sim::seconds(2), sim::seconds(10));
+        break;
+      default:
+        f.kind = FaultKind::kSlowNode;
+        f.exec_scale = rng.uniform(1.5, 4.0);
+        f.compute_scale = rng.uniform(1.5, 4.0);
+        f.duration = rng.uniform_duration(sim::seconds(5), sim::seconds(30));
+        break;
+    }
+    chaos.add(f);
+  }
+
+  ChaosRunOutcome out;
+  out.njobs = static_cast<std::size_t>(njobs);
+  out.max_attempts = options.service.max_attempts;
+  bed.engine.spawn("driver", [](StandaloneJets& jets, ChaosEngine& chaos,
+                                std::vector<JobSpec> jobs,
+                                BatchReport& report) -> sim::Task<void> {
+    co_await jets.wait_workers();
+    chaos.start();
+    report = co_await jets.run_batch(std::move(jobs));
+  }(jets, chaos, std::move(jobs), out.report));
+  bed.engine.run_until(sim::seconds(3600));
+
+  out.settled = bed.engine.now() < sim::seconds(3600);
+  out.ready_pool_ok = jets.service().ready_pool_consistent();
+  out.running = jets.service().running_jobs();
+  out.pending = jets.service().pending_jobs();
+  for (const auto& rec : out.report.records) {
+    out.fingerprint += std::to_string(static_cast<int>(rec.status)) + ":" +
+                       std::to_string(rec.attempts) + ":" +
+                       std::to_string(rec.finished_at) + ";";
+  }
+  out.fingerprint += "|evicted=" +
+                     std::to_string(jets.service().evicted_workers()) +
+                     "|reenlisted=" +
+                     std::to_string(jets.service().reenlisted_workers()) +
+                     "|hb=" + std::to_string(jets.service().heartbeats_received());
+  return out;
+}
+
+class ChaosPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosPropertyTest, RandomFaultScheduleSettlesAndReproduces) {
+  const ChaosRunOutcome a = run_chaos_stress(GetParam());
+
+  // Invariant 1: the batch settled before the horizon (no deadlock, no
+  // job stranded on a disregarded worker).
+  ASSERT_TRUE(a.settled);
+  // Invariant 2: no job lost or double-counted.
+  EXPECT_EQ(a.report.completed + a.report.failed, a.njobs);
+  EXPECT_EQ(a.report.records.size(), a.njobs);
+  for (const auto& rec : a.report.records) {
+    EXPECT_TRUE(rec.status == JobStatus::kDone ||
+                rec.status == JobStatus::kFailed);
+    EXPECT_LE(rec.attempts, a.max_attempts);
+  }
+  // Invariant 3: service bookkeeping is clean after the dust settles.
+  EXPECT_EQ(a.running, 0u);
+  EXPECT_EQ(a.pending, 0u);
+  EXPECT_TRUE(a.ready_pool_ok);
+
+  // Invariant 4: a second run from the same seed lands in the exact same
+  // end state (per-job status/attempts/finish times and fault counters).
+  const ChaosRunOutcome b = run_chaos_stress(GetParam());
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosPropertyTest,
+                         ::testing::Values<std::uint64_t>(5, 8, 21, 99, 7777));
 
 // The paper's §3 target, scaled to a quarter rack: "64 concurrent
 // simulations ... launch 6.4 MPI executions per second" — here 16
