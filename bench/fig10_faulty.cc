@@ -7,22 +7,30 @@
 // time, with running jobs hugging the shrinking node count until the
 // allocation is gone at ~320 s.
 //
-// This harness runs the same workload under three fault classes from the
+// This harness runs the same workload under four fault classes from the
 // chaos engine (core/chaos.hh), one scenario per series:
 //
-//   kill  — the paper's original fault: pilot SIGKILL, service sees EOF.
-//   hang  — pilots freeze with their sockets open; only the heartbeat /
-//           liveness machinery can detect them, so "nodes available" here
-//           counts *usable* workers (connected minus hung-but-undetected).
-//           Hangs are permanent: the pool shrinks like the kill series,
-//           but each drop lags the fault by the liveness deadline.
-//   stall — 30 s network stalls on random nodes: the service evicts the
-//           silent worker (liveness), retries its job elsewhere, and
-//           re-enlists the worker when its traffic drains — the pool dips
-//           and recovers instead of shrinking.
+//   kill   — the paper's original fault: pilot SIGKILL, service sees EOF.
+//   hang   — pilots freeze with their sockets open; only the heartbeat /
+//            liveness machinery can detect them, so "nodes available" here
+//            counts *usable* workers (connected minus hung-but-undetected).
+//            Hangs are permanent: the pool shrinks like the kill series,
+//            but each drop lags the fault by the liveness deadline.
+//   stall  — 30 s network stalls on random nodes: the service evicts the
+//            silent worker (liveness), retries its job elsewhere, and
+//            re-enlists the worker when its traffic drains — the pool dips
+//            and recovers instead of shrinking.
+//   launch — MPI gangs under permanent hangs with the launch-phase deadline
+//            (Config::mpi_launch_timeout) armed: a pilot frozen before its
+//            proxy dials back fails the gang fast with kLaunchTimeout (an
+//            infra-class failure that, with retry.infra_exempt, does not
+//            consume the app attempt budget) instead of wedging mpiexec.
 //
-// All three scenarios drive faults and placement from fixed seeds; two
-// runs of this binary produce byte-identical output.
+// Each scenario's trailer prints the service's per-reason failure counters
+// (FailureReason taxonomy) and the retry engine's delayed-requeue count.
+//
+// All scenarios drive faults and placement from fixed seeds; two runs of
+// this binary produce byte-identical output.
 #include <cstdio>
 #include <memory>
 
@@ -38,26 +46,36 @@ struct Scenario {
   core::FaultKind kind;
   sim::Duration fault_duration;  // stall window; 0 = permanent fault
   bool heartbeats;               // enable worker pings + liveness eviction
+  bool mpi = false;              // 2-proc MPI gangs instead of seq tasks
 };
 
 void run_scenario(const Scenario& sc) {
   constexpr std::size_t kNodes = 32;
   bench::Bed bed(os::Machine::surveyor(kNodes));
   auto options = bench::surveyor_options(/*workers_per_node=*/1);
-  options.worker.stage_files = {pmi::kProxyBinary, "sleep"};
-  options.service.max_attempts = 100;  // keep retrying onto survivors
+  options.worker.stage_files = {pmi::kProxyBinary, "sleep", "mpi_sleep"};
+  options.service.retry.max_attempts = 100;  // keep retrying onto survivors
   auto registry = std::make_shared<core::WorkerHangRegistry>();
   options.worker.hang_registry = registry;
   if (sc.heartbeats) {
     options.worker.heartbeat_interval = sim::seconds(2);
     options.service.worker_liveness_timeout = sim::seconds(5);
   }
+  if (sc.mpi) {
+    // The launch series: gangs must finish wiring within 3 s, and launch
+    // timeouts are charged to the infra budget, not the app budget.
+    options.service.mpi_launch_timeout = sim::seconds(3);
+    options.service.retry.infra_exempt = true;
+  }
   core::StandaloneJets jets(bed.machine, bed.apps, options);
   jets.start(bed.nodes(kNodes));
 
   // More work than the allocation can finish: the run ends when the last
   // worker dies (kill/hang) or the 400 s observation window closes.
-  std::vector<core::JobSpec> jobs(20'000, bench::seq_job({"sleep", "1"}));
+  std::vector<core::JobSpec> jobs(
+      sc.mpi ? 5'000 : 20'000,
+      sc.mpi ? bench::mpi_job(2, {"mpi_sleep", "1"})
+             : bench::seq_job({"sleep", "1"}));
 
   core::ChaosEngine chaos(bed.machine, sim::Rng(2011).fork(sc.label));
   chaos.set_pilots(jets.worker_pids());
@@ -96,11 +114,18 @@ void run_scenario(const Scenario& sc) {
   const auto& c = chaos.counters();
   std::printf(
       "# %s: killed=%zu hung=%zu stalled=%zu | evicted=%zu reenlisted=%zu "
-      "heartbeats=%zu completed=%zu failed=%zu\n",
+      "heartbeats=%zu completed=%zu failed=%zu quarantined=%zu\n",
       sc.label, c.pilots_killed, c.workers_hung, c.nodes_stalled,
       jets.service().evicted_workers(), jets.service().reenlisted_workers(),
       jets.service().heartbeats_received(), jets.service().completed_jobs(),
-      jets.service().failed_jobs());
+      jets.service().failed_jobs(), jets.service().quarantined_jobs());
+  std::printf("# %s failures:", sc.label);
+  for (std::size_t i = 1; i < core::kFailureReasonCount; ++i) {
+    const auto reason = static_cast<core::FailureReason>(i);
+    std::printf(" %s=%zu", core::to_string(reason),
+                jets.service().failures_by_reason(reason));
+  }
+  std::printf(" | retries_scheduled=%zu\n", jets.service().retries_scheduled());
 }
 
 }  // namespace
@@ -110,10 +135,13 @@ int main() {
       "fig10", "running jobs vs available nodes across the fault spectrum",
       "one fault every 10 s on 32 workers; kill and hang series shrink the "
       "pool (hang lagging by the liveness deadline), stall series dips and "
-      "recovers via eviction + re-enlistment");
+      "recovers via eviction + re-enlistment; launch series runs MPI gangs "
+      "with a launch-phase deadline so hung pilots fail fast as "
+      "launch-timeout instead of wedging mpiexec");
 
   run_scenario({"kill", core::FaultKind::kKillPilot, 0, false});
   run_scenario({"hang", core::FaultKind::kHangWorker, 0, true});
   run_scenario({"stall", core::FaultKind::kSocketStall, sim::seconds(30), true});
+  run_scenario({"launch", core::FaultKind::kHangWorker, 0, true, /*mpi=*/true});
   return 0;
 }

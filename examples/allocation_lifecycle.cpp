@@ -36,7 +36,7 @@ int main() {
 
   swift::CoasterService::Config cfg;
   cfg.worker.stage_files = {pmi::kProxyBinary, "mpi_sleep"};
-  cfg.service.max_attempts = 5;
+  cfg.service.retry.max_attempts = 5;
   swift::CoasterService coasters(machine, apps, cfg);
   coasters.start_with_blocks(cobalt, /*target_nodes=*/64,
                              /*walltime=*/sim::seconds(1200),

@@ -33,7 +33,7 @@ int main() {
   core::StandaloneOptions options;
   options.worker.task_overhead = sim::milliseconds(450);
   options.worker.stage_files = {pmi::kProxyBinary, "mpi_sleep"};
-  options.service.max_attempts = 5;  // faults cost retries, not results
+  options.service.retry.max_attempts = 5;  // faults cost retries, not results
   // Liveness: workers ping every 2 s while busy; 8 s of silence from a
   // busy worker and the service disregards it and retries its job.
   options.worker.heartbeat_interval = sim::seconds(2);
@@ -102,8 +102,17 @@ int main() {
               jets.service().evicted_workers(),
               jets.service().reenlisted_workers(),
               jets.service().heartbeats_received());
-  std::printf("jobs retried after faults: %d (total attempts %d)\n", retried,
-              total_attempts);
+  std::printf("jobs retried after faults: %d (total attempts %d, "
+              "%zu delayed requeues)\n",
+              retried, total_attempts, jets.service().retries_scheduled());
+  std::printf("failure taxonomy:");
+  for (std::size_t i = 1; i < core::kFailureReasonCount; ++i) {
+    const auto reason = static_cast<core::FailureReason>(i);
+    if (const auto n = jets.service().failures_by_reason(reason); n > 0) {
+      std::printf(" %s=%zu", core::to_string(reason), n);
+    }
+  }
+  std::printf("\n");
   std::printf("makespan %.0f s on a degraded allocation (%zu slots, "
               "%zu killed/hung)\n",
               report.makespan_seconds(), report.total_slots,

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the fault/retry suites under sanitizers.
+#
+#   scripts/check.sh            # default preset: full suite (tier-1 verify)
+#   scripts/check.sh --asan     # also build asan-ubsan and run chaos+retry
+#   scripts/check.sh --all      # both of the above
+#
+# The default preset run is the ROADMAP tier-1 gate: every ctest entry
+# (labels unit, property, chaos, retry) must pass. The sanitizer pass
+# re-runs only the fault-heavy suites (-L chaos and -L retry), which are
+# the ones most likely to surface lifetime bugs in the retry engine's
+# timer plumbing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_default=1
+run_asan=0
+for arg in "$@"; do
+  case "$arg" in
+    --asan) run_default=0; run_asan=1 ;;
+    --all) run_default=1; run_asan=1 ;;
+    *) echo "usage: $0 [--asan|--all]" >&2; exit 2 ;;
+  esac
+done
+
+if [[ "$run_default" == 1 ]]; then
+  echo "== tier-1 verify (default preset) =="
+  cmake --preset default
+  cmake --build --preset default -j "$(nproc)"
+  ctest --preset default -j "$(nproc)"
+fi
+
+if [[ "$run_asan" == 1 ]]; then
+  echo "== chaos + retry under ASan/UBSan =="
+  cmake --preset asan-ubsan
+  cmake --build --preset asan-ubsan -j "$(nproc)"
+  ctest --preset asan-ubsan -L chaos -j "$(nproc)"
+  ctest --preset asan-ubsan -L retry -j "$(nproc)"
+fi
+
+echo "check.sh: OK"

@@ -17,6 +17,20 @@ std::vector<std::string> tokenize(const std::string& line) {
 
 }  // namespace
 
+const char* to_string(FailureReason reason) {
+  switch (reason) {
+    case FailureReason::kNone: return "none";
+    case FailureReason::kAppExit: return "app-exit";
+    case FailureReason::kWorkerLost: return "worker-lost";
+    case FailureReason::kLivenessEvicted: return "liveness-evicted";
+    case FailureReason::kGangPartnerLost: return "gang-partner-lost";
+    case FailureReason::kLaunchTimeout: return "launch-timeout";
+    case FailureReason::kJobDeadline: return "job-deadline";
+    case FailureReason::kServiceAbort: return "service-abort";
+  }
+  return "unknown";
+}
+
 std::vector<JobSpec> parse_job_list(const std::string& text, int default_ppn) {
   if (default_ppn < 1) throw std::invalid_argument("ppn must be >= 1");
   std::vector<JobSpec> jobs;

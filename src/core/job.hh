@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,81 @@ namespace jets::core {
 using JobId = std::uint64_t;
 
 enum class JobKind { kSequential, kMpi };
+
+/// Why a settled attempt (or a job that never got an attempt) failed. The
+/// taxonomy splits *application* failures — the job's own code exited
+/// nonzero or hung past the task watchdog — from *infrastructure* failures
+/// the job is innocent of, so the retry engine can charge them to separate
+/// budgets (see RetryPolicy).
+enum class FailureReason : std::uint8_t {
+  kNone = 0,          // attempt succeeded
+  kAppExit,           // the application exited nonzero (or tripped the
+                      // worker-side task watchdog)
+  kWorkerLost,        // the worker's connection died (EOF) under the job
+  kLivenessEvicted,   // the service's liveness deadline disregarded the
+                      // worker (hung pilot, stalled network)
+  kGangPartnerLost,   // an MPI gang lost one of its workers/proxies, so
+                      // every partner's work was wasted
+  kLaunchTimeout,     // the gang never finished wiring up (proxy dial-back
+                      // + PMI init) within the launch-phase deadline
+  kJobDeadline,       // the job-level timeout expired
+  kServiceAbort,      // the service gave up: the machine shrank below the
+                      // job's width, or the job was aborted administratively
+};
+inline constexpr std::size_t kFailureReasonCount = 8;
+
+const char* to_string(FailureReason reason);
+
+/// Infrastructure-class failures: not the application's fault, so they can
+/// be exempted from the app-failure attempt budget (RetryPolicy).
+constexpr bool is_infra_failure(FailureReason r) {
+  return r == FailureReason::kWorkerLost ||
+         r == FailureReason::kLivenessEvicted ||
+         r == FailureReason::kGangPartnerLost ||
+         r == FailureReason::kLaunchTimeout;
+}
+
+/// Retry discipline applied when an attempt fails. The service holds the
+/// default policy (Service::Config::retry); a JobSpec may override it
+/// wholesale. Requeues are *delayed*: each failed attempt schedules an
+/// exponential-backoff timer (base * factor^(failures-1), capped at `max`,
+/// stretched by up to `jitter` drawn from the service's seeded rng), so a
+/// poison job cannot hot-loop at the head of the queue and same-seed runs
+/// reproduce identical backoff schedules.
+struct RetryPolicy {
+  /// Attempt budget. Application failures always consume it; infra-class
+  /// failures consume it too unless `infra_exempt` is set.
+  int max_attempts = 3;
+  /// When true, infra-class failures (see is_infra_failure) do not count
+  /// toward max_attempts; they are bounded by max_infra_failures instead.
+  bool infra_exempt = false;
+  /// Hard cap on infra-class failures per job — a backstop against a job
+  /// that keeps landing on dying hardware.
+  int max_infra_failures = 64;
+  /// First-retry delay; 0 disables backoff (requeue happens immediately,
+  /// still through the timer path for deterministic ordering).
+  sim::Duration backoff_base = sim::milliseconds(250);
+  double backoff_factor = 2.0;
+  sim::Duration backoff_max = sim::seconds(30);
+  /// Each delay is stretched by a uniform draw in [0, jitter) of itself,
+  /// from the service's rng (seeded below) — deterministic, but decorrelates
+  /// retry stampedes after a mass eviction.
+  double backoff_jitter = 0.25;
+  /// Seed for the service's backoff-jitter rng stream.
+  std::uint64_t jitter_seed = 2011;
+};
+
+/// One attempt of one job, as recorded in JobRecord::history.
+struct AttemptRecord {
+  int attempt = 0;              // 1-based
+  sim::Time started_at = -1;
+  sim::Time ended_at = -1;      // -1 while in flight
+  int exit_status = 0;
+  FailureReason reason = FailureReason::kNone;
+  /// Backoff delay scheduled after this attempt failed (0 if none — the
+  /// attempt succeeded or the job settled for good).
+  sim::Duration backoff = 0;
+};
 
 struct JobSpec {
   JobKind kind = JobKind::kSequential;
@@ -40,6 +116,8 @@ struct JobSpec {
   /// Scheduling priority for the priority/backfill policy (higher first);
   /// ignored by the paper's default FIFO scheduler.
   int priority = 0;
+  /// Per-job retry policy; unset means the service default applies.
+  std::optional<RetryPolicy> retry;
 
   /// Number of workers (pilot slots) this job occupies while running.
   int workers_needed() const {
@@ -48,14 +126,30 @@ struct JobSpec {
   }
 };
 
-/// Final state of one job as tracked by the service.
-enum class JobStatus { kPending, kRunning, kDone, kFailed };
+/// Final state of one job as tracked by the service. kQuarantined is the
+/// poison-job terminal state: the job's *own* failures exhausted the
+/// app-failure budget, so resubmitting it as-is would burn more workers.
+enum class JobStatus { kPending, kRunning, kDone, kFailed, kQuarantined };
+
+constexpr bool job_settled(JobStatus s) {
+  return s == JobStatus::kDone || s == JobStatus::kFailed ||
+         s == JobStatus::kQuarantined;
+}
 
 struct JobRecord {
   JobId id = 0;
   JobSpec spec;
   JobStatus status = JobStatus::kPending;
   int attempts = 0;
+  /// Attempt-budget accounting, per the taxonomy split.
+  int app_failures = 0;
+  int infra_failures = 0;
+  /// Why the most recent attempt failed — or, once settled, why the job
+  /// failed for good (kNone for kDone).
+  FailureReason last_reason = FailureReason::kNone;
+  /// Every attempt, in order, with its classified failure and the backoff
+  /// delay the retry engine scheduled after it.
+  std::vector<AttemptRecord> history;
   /// Nodes hosting the last attempt's workers (for locality analyses).
   std::vector<net::NodeId> nodes;
   sim::Time submitted_at = 0;

@@ -9,7 +9,8 @@ namespace jets::core {
 
 Service::Service(os::Machine& machine, const os::AppRegistry& apps,
                  os::NodeId host, Config config)
-    : machine_(&machine), apps_(&apps), host_(host), config_(config) {
+    : machine_(&machine), apps_(&apps), host_(host), config_(config),
+      retry_rng_(sim::Rng(config.retry.jitter_seed).fork("retry")) {
   kick_ch_ = std::make_unique<sim::Channel<int>>(machine.engine());
   all_done_ = std::make_unique<sim::Gate>(machine.engine());
 }
@@ -61,12 +62,11 @@ void Service::deadline_expired(JobId id) {
   Job& job = it->second;
   job.deadline_passed = true;
   if (job.rec.status == JobStatus::kPending) {
+    // Covers queued jobs *and* jobs waiting out a retry backoff (whose
+    // pending requeue settle_job cancels).
     std::erase(queue_, id);
-    job.rec.status = JobStatus::kFailed;
-    job.rec.finished_at = machine_->engine().now();
-    ++failed_;
-    if (job.settled) job.settled->open();
-    if (hooks_.on_job_finish) hooks_.on_job_finish(job.rec);
+    ++failures_by_reason_[static_cast<std::size_t>(FailureReason::kJobDeadline)];
+    settle_job(job, JobStatus::kFailed, FailureReason::kJobDeadline);
     kick();
     check_all_done();
   } else if (job.rec.status == JobStatus::kRunning) {
@@ -84,7 +84,7 @@ void Service::deadline_expired(JobId id) {
           w.sock->send(net::Message(kMsgKill, {w.task_id}));
         }
       }
-      job_finished(id, /*status=*/124);
+      job_finished(id, /*status=*/124, FailureReason::kJobDeadline);
     }
   }
 }
@@ -105,9 +105,7 @@ sim::Task<void> Service::wait_job(JobId id) {
   auto it = jobs_.find(id);
   if (it == jobs_.end()) co_return;
   Job& job = it->second;
-  if (job.rec.status == JobStatus::kDone || job.rec.status == JobStatus::kFailed) {
-    co_return;
-  }
+  if (job_settled(job.rec.status)) co_return;
   if (!job.settled) job.settled = std::make_unique<sim::Gate>(machine_->engine());
   co_await job.settled->wait();
 }
@@ -141,8 +139,8 @@ sim::Task<void> Service::stage_to_workers(const std::string& path) {
 }
 
 void Service::check_all_done() {
-  if (!queue_.empty() || running_ != 0) return;
-  if (completed_ + failed_ == jobs_.size()) all_done_->open();
+  if (!queue_.empty() || running_ != 0 || backing_off_ != 0) return;
+  if (completed_ + failed_ + quarantined_ == jobs_.size()) all_done_->open();
 }
 
 // --- Worker side -------------------------------------------------------------
@@ -178,6 +176,7 @@ sim::Task<void> Service::worker_handler(net::SocketPtr sock) {
       w.last_heard = machine_->engine().now();
       workers_.emplace(wid, std::move(w));
       ++connected_;
+      peak_capacity_ = std::max(peak_capacity_, connected_);
     } else if (m->tag == kMsgPing && wid != 0) {
       ++heartbeats_;  // last_heard already refreshed above
     } else if (m->tag == kMsgReady && wid != 0) {
@@ -191,11 +190,20 @@ sim::Task<void> Service::worker_handler(net::SocketPtr sock) {
         // Unless its node has been blacklisted, give it another chance.
         if (node_blacklisted(w.node)) {
           ++blacklist_rejections_;
+          // The refused worker now waits silently for work, so if the ban
+          // has a parole date, check back then and re-offer it ourselves.
+          const auto ht = node_health_.find(w.node);
+          if (ht != node_health_.end() && ht->second.banned &&
+              ht->second.banned_until >= 0) {
+            machine_->engine().call_at(ht->second.banned_until,
+                                       [this, wid] { reoffer_worker(wid); });
+          }
           continue;
         }
         w.evicted = false;
         w.connected = true;
         ++connected_;
+        peak_capacity_ = std::max(peak_capacity_, connected_);
         ++reenlisted_;
       }
       ready_.push_back(wid);
@@ -212,7 +220,13 @@ sim::Task<void> Service::worker_handler(net::SocketPtr sock) {
       if (it != task_to_job_.end()) {
         const JobId jid = it->second;
         task_to_job_.erase(it);
-        job_finished(jid, status);
+        // The worker's exit-reason token ("app"/"watchdog"/"killed", see
+        // worker.hh) all classify as the application's own failure: the
+        // watchdog kill (124) means the *app* hung, and service-requested
+        // kills only reach here for tasks the service no longer tracks.
+        job_finished(jid, status,
+                     status == 0 ? FailureReason::kNone
+                                 : FailureReason::kAppExit);
       }
       // Proxy exits of MPI jobs land here too; mpiexec owns their outcome.
     }
@@ -229,12 +243,18 @@ sim::Task<void> Service::worker_handler(net::SocketPtr sock) {
       if (it->second.busy && it->second.job != 0) {
         // Its task cannot finish; fail the attempt so the job can retry on
         // other workers ("minimizing their impact", §5 feature 3).
-        job_finished(it->second.job, /*status=*/1);
+        const JobId jid = it->second.job;
+        auto jt = jobs_.find(jid);
+        if (jt != jobs_.end()) {
+          job_finished(jid, /*status=*/1, worker_lost_reason(jt->second));
+        }
       }
     }
     // A worker already evicted for liveness needs no further bookkeeping;
     // mark it unable to re-enlist now that its connection is truly gone.
     it->second.evicted = false;
+    // This slot is gone for good — a queued wide job may now be doomed.
+    reap_unsatisfiable();
   }
 }
 
@@ -327,7 +347,16 @@ sim::Task<void> Service::place_job(JobId id) {
   const std::vector<WorkerId> claimed = job.assigned;
   job.rec.status = JobStatus::kRunning;
   job.rec.started_at = machine_->engine().now();
-  ++job.rec.attempts;
+  // Attempt generation: if the job settles *and* is re-placed while this
+  // coroutine is suspended in a dispatch delay, the status check alone
+  // would confuse the new attempt for this one.
+  const int attempt = ++job.rec.attempts;
+  {
+    AttemptRecord att;
+    att.attempt = attempt;
+    att.started_at = machine_->engine().now();
+    job.rec.history.push_back(att);
+  }
   ++running_;
   job.rec.nodes.clear();
   for (WorkerId wid : claimed) {
@@ -353,14 +382,22 @@ sim::Task<void> Service::place_job(JobId id) {
     Worker& w = workers_.at(claimed.front());
     w.task_id = tid;
     co_await sim::delay(config_.dispatch_overhead);
-    if (job.rec.status != JobStatus::kRunning) {  // settled mid-placement
+    if (job.rec.status != JobStatus::kRunning ||
+        job.rec.attempts != attempt) {  // settled mid-placement
       release_undispatched(claimed, 0);
       co_return;
     }
-    if (w.connected) w.sock->send(make_run_message(tid, spec.argv, spec.vars));
+    if (!w.connected || w.evicted) {
+      // The claimed worker vanished while the run message was in flight:
+      // fail the attempt now rather than dropping the message and waiting
+      // out a job deadline that may never fire.
+      job_finished(id, /*status=*/1, worker_lost_reason(job));
+      co_return;
+    }
+    w.sock->send(make_run_message(tid, spec.argv, spec.vars));
   } else {
     co_await sim::delay(config_.mpi_job_overhead);
-    if (job.rec.status != JobStatus::kRunning) {
+    if (job.rec.status != JobStatus::kRunning || job.rec.attempts != attempt) {
       release_undispatched(claimed, 0);
       co_return;
     }
@@ -370,6 +407,7 @@ sim::Task<void> Service::place_job(JobId id) {
     mspec.ranks_per_proxy = spec.ppn;
     mspec.user_vars = spec.vars;
     mspec.proxy_setup_cost = config_.proxy_setup_cost;
+    mspec.launch_timeout = config_.mpi_launch_timeout;
     job.mpx = std::make_shared<pmi::Mpiexec>(*machine_, *apps_, host_, mspec);
     job.mpx->start();
     const auto cmds = job.mpx->proxy_commands();
@@ -378,11 +416,19 @@ sim::Task<void> Service::place_job(JobId id) {
       const std::string tid = "t" + std::to_string(next_task_++);
       w.task_id = tid;
       co_await sim::delay(config_.dispatch_overhead);
-      if (job.rec.status != JobStatus::kRunning) {
+      if (job.rec.status != JobStatus::kRunning || job.rec.attempts != attempt) {
         release_undispatched(claimed, k);  // w never got its run message
         co_return;
       }
-      if (w.connected) w.sock->send(make_run_message(tid, cmds[k], {}));
+      if (!w.connected || w.evicted) {
+        // A gang member vanished mid-dispatch: fail the attempt and free
+        // the rest of the gang now — mpiexec would otherwise wait forever
+        // for a proxy that was never started.
+        job_finished(id, /*status=*/1, worker_lost_reason(job));
+        release_undispatched(claimed, k);
+        co_return;
+      }
+      w.sock->send(make_run_message(tid, cmds[k], {}));
     }
     // Completion is observed through mpiexec, whose output JETS checks.
     // The waiter holds shared ownership: it is the coroutine suspended
@@ -391,17 +437,26 @@ sim::Task<void> Service::place_job(JobId id) {
         "jets-job-waiter",
         [](Service* s, JobId id, std::shared_ptr<pmi::Mpiexec> mpx) -> sim::Task<void> {
           const int rc = co_await mpx->wait();
-          s->job_finished(id, rc);
+          FailureReason reason = FailureReason::kNone;
+          if (rc != 0) {
+            auto jt = s->jobs_.find(id);
+            reason = jt != s->jobs_.end()
+                         ? s->classify_mpi_failure(jt->second, *mpx)
+                         : FailureReason::kAppExit;
+          }
+          s->job_finished(id, rc, reason);
         }(this, id, job.mpx)));
   }
 }
 
-void Service::job_finished(JobId id, int status) {
+void Service::job_finished(JobId id, int status, FailureReason reason) {
   auto it = jobs_.find(id);
   if (it == jobs_.end()) return;
   Job& job = it->second;
   if (job.rec.status != JobStatus::kRunning) return;  // already settled
-  job.timeout.cancel();
+  // NB: the submission-relative deadline timer stays armed across retries
+  // (settle_job cancels it); cancelling here would hand a failing job a
+  // fresh, unbounded deadline on every attempt.
   --running_;
 
   if (status != 0) {
@@ -435,24 +490,169 @@ void Service::job_finished(JobId id, int status) {
     job.mpx.reset();
   }
 
+  // Close out this attempt's history entry.
+  if (!job.rec.history.empty() && job.rec.history.back().ended_at < 0) {
+    AttemptRecord& att = job.rec.history.back();
+    att.ended_at = machine_->engine().now();
+    att.exit_status = status;
+    att.reason = reason;
+  }
+
   if (status == 0) {
-    job.rec.status = JobStatus::kDone;
-    job.rec.finished_at = machine_->engine().now();
-    ++completed_;
-    if (job.settled) job.settled->open();
-    if (hooks_.on_job_finish) hooks_.on_job_finish(job.rec);
-  } else if (job.rec.attempts < config_.max_attempts && !job.deadline_passed) {
-    job.rec.status = JobStatus::kPending;
-    queue_.push_back(id);
+    settle_job(job, JobStatus::kDone, FailureReason::kNone);
+    kick();
+    check_all_done();
+    return;
+  }
+
+  job.rec.last_reason = reason;
+  ++failures_by_reason_[static_cast<std::size_t>(reason)];
+  if (is_infra_failure(reason)) {
+    ++job.rec.infra_failures;
   } else {
-    job.rec.status = JobStatus::kFailed;
-    job.rec.finished_at = machine_->engine().now();
-    ++failed_;
-    if (job.settled) job.settled->open();
-    if (hooks_.on_job_finish) hooks_.on_job_finish(job.rec);
+    ++job.rec.app_failures;
+  }
+
+  const RetryPolicy& pol = policy_for(job);
+  // Infra-class failures can be exempted from the app attempt budget; a
+  // separate hard cap still bounds them.
+  const int charged = pol.infra_exempt
+                          ? job.rec.app_failures
+                          : job.rec.app_failures + job.rec.infra_failures;
+  const bool terminal_reason = reason == FailureReason::kJobDeadline ||
+                               reason == FailureReason::kServiceAbort;
+  if (!terminal_reason && !job.deadline_passed &&
+      charged < pol.max_attempts &&
+      job.rec.infra_failures < pol.max_infra_failures) {
+    // Delayed requeue through the retry engine — never straight back to
+    // the head of the queue.
+    job.rec.status = JobStatus::kPending;
+    const int failures = job.rec.app_failures + job.rec.infra_failures;
+    const sim::Duration delay = backoff_delay(pol, failures);
+    if (!job.rec.history.empty()) job.rec.history.back().backoff = delay;
+    job.in_backoff = true;
+    ++backing_off_;
+    ++retries_scheduled_;
+    job.retry_timer =
+        machine_->engine().call_in(delay, [this, id] { requeue_job(id); });
+  } else if (reason == FailureReason::kAppExit && charged >= pol.max_attempts) {
+    // The job's own failures exhausted the budget: poison, not unlucky.
+    settle_job(job, JobStatus::kQuarantined, reason);
+  } else {
+    settle_job(job, JobStatus::kFailed, reason);
   }
   kick();
   check_all_done();
+}
+
+sim::Duration Service::backoff_delay(const RetryPolicy& pol, int failures) {
+  if (pol.backoff_base <= 0) return 0;
+  double d = static_cast<double>(pol.backoff_base);
+  const double cap = static_cast<double>(pol.backoff_max);
+  for (int i = 1; i < failures && (cap <= 0 || d < cap); ++i) {
+    d *= pol.backoff_factor;
+  }
+  if (cap > 0) d = std::min(d, cap);
+  if (pol.backoff_jitter > 0) {
+    d *= 1.0 + retry_rng_.uniform(0.0, pol.backoff_jitter);
+  }
+  return static_cast<sim::Duration>(d);
+}
+
+void Service::requeue_job(JobId id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return;
+  Job& job = it->second;
+  if (job.rec.status != JobStatus::kPending || !job.in_backoff) return;
+  job.in_backoff = false;
+  --backing_off_;
+  // The machine may have shrunk below the job's width during the backoff.
+  const auto needed = static_cast<std::size_t>(job.rec.spec.workers_needed());
+  if (config_.fail_unsatisfiable && needed > potential_capacity() &&
+      needed <= peak_capacity_) {
+    ++failures_by_reason_[static_cast<std::size_t>(FailureReason::kServiceAbort)];
+    settle_job(job, JobStatus::kFailed, FailureReason::kServiceAbort);
+    check_all_done();
+    return;
+  }
+  queue_.push_back(id);
+  kick();
+}
+
+void Service::settle_job(Job& job, JobStatus status, FailureReason reason) {
+  job.timeout.cancel();
+  job.retry_timer.cancel();
+  if (job.in_backoff) {
+    job.in_backoff = false;
+    --backing_off_;
+  }
+  job.rec.status = status;
+  job.rec.last_reason = reason;
+  job.rec.finished_at = machine_->engine().now();
+  if (status == JobStatus::kDone) {
+    ++completed_;
+  } else if (status == JobStatus::kQuarantined) {
+    ++quarantined_;
+  } else {
+    ++failed_;
+  }
+  if (job.settled) job.settled->open();
+  if (hooks_.on_job_finish) hooks_.on_job_finish(job.rec);
+}
+
+FailureReason Service::worker_lost_reason(const Job& job) const {
+  return job.rec.spec.workers_needed() > 1 ? FailureReason::kGangPartnerLost
+                                           : FailureReason::kWorkerLost;
+}
+
+FailureReason Service::classify_mpi_failure(const Job& job,
+                                            const pmi::Mpiexec& mpx) const {
+  if (job.deadline_passed) return FailureReason::kJobDeadline;
+  switch (mpx.fail_kind()) {
+    case pmi::MpiexecFailKind::kLaunchTimeout:
+      return FailureReason::kLaunchTimeout;
+    case pmi::MpiexecFailKind::kDisconnect:
+      return worker_lost_reason(job);
+    case pmi::MpiexecFailKind::kAborted:
+      return FailureReason::kServiceAbort;
+    case pmi::MpiexecFailKind::kExit:
+    case pmi::MpiexecFailKind::kNone:
+      break;
+  }
+  return FailureReason::kAppExit;
+}
+
+std::size_t Service::potential_capacity() const {
+  std::size_t n = 0;
+  for (const auto& [wid, w] : workers_) {
+    if (w.connected) {
+      ++n;
+    } else if (w.evicted && !node_banned(w.node)) {
+      ++n;  // could still re-enlist
+    }
+  }
+  return n;
+}
+
+void Service::reap_unsatisfiable() {
+  if (!config_.fail_unsatisfiable) return;
+  const std::size_t cap = potential_capacity();
+  std::vector<JobId> doomed;
+  for (JobId id : queue_) {
+    const Job& job = jobs_.at(id);
+    const auto needed = static_cast<std::size_t>(job.rec.spec.workers_needed());
+    // Only jobs the machine *once* had room for: a job wider than the
+    // allocation ever was keeps waiting (workers may still register), and
+    // is bounded by its deadline as before.
+    if (needed > cap && needed <= peak_capacity_) doomed.push_back(id);
+  }
+  for (JobId id : doomed) {
+    std::erase(queue_, id);
+    Job& job = jobs_.at(id);
+    ++failures_by_reason_[static_cast<std::size_t>(FailureReason::kServiceAbort)];
+    settle_job(job, JobStatus::kFailed, FailureReason::kServiceAbort);
+  }
+  if (!doomed.empty()) check_all_done();
 }
 
 // --- Worker liveness ---------------------------------------------------------
@@ -487,20 +687,66 @@ void Service::evict_worker(WorkerId wid) {
   w.connected = false;
   --connected_;
   ++evicted_;
-  ++node_evictions_[w.node];
+  NodeHealth& h = node_health_[w.node];
+  ++h.evictions;
+  if (config_.blacklist_after > 0 && !h.banned &&
+      h.evictions >= config_.blacklist_after) {
+    h.banned = true;
+    h.banned_until =
+        config_.blacklist_probation > 0
+            ? machine_->engine().now() + config_.blacklist_probation
+            : -1;  // permanent
+  }
   w.liveness_timer.cancel();
   std::erase(ready_, wid);
   if (w.busy && w.job != 0) {
     // The in-flight attempt cannot be trusted to finish; fail it so the
     // job retries on live workers ("minimizing their impact", §5).
-    job_finished(w.job, /*status=*/1);
+    job_finished(w.job, /*status=*/1, FailureReason::kLivenessEvicted);
   }
+  // Banning a node may have shrunk the machine below a queued job's width.
+  reap_unsatisfiable();
 }
 
-bool Service::node_blacklisted(os::NodeId node) const {
-  if (config_.blacklist_after <= 0) return false;
-  auto it = node_evictions_.find(node);
-  return it != node_evictions_.end() && it->second >= config_.blacklist_after;
+bool Service::node_banned(os::NodeId node) const {
+  auto it = node_health_.find(node);
+  if (it == node_health_.end() || !it->second.banned) return false;
+  return it->second.banned_until < 0 ||
+         machine_->engine().now() < it->second.banned_until;
+}
+
+bool Service::node_blacklisted(os::NodeId node) {
+  auto it = node_health_.find(node);
+  if (it == node_health_.end() || !it->second.banned) return false;
+  NodeHealth& h = it->second;
+  if (h.banned_until >= 0 && machine_->engine().now() >= h.banned_until) {
+    // Probation served: parole the node, but remember half its record so a
+    // repeat offender is re-banned quickly.
+    h.banned = false;
+    h.banned_until = -1;
+    h.evictions /= 2;
+    ++blacklist_paroles_;
+    return false;
+  }
+  return true;
+}
+
+void Service::reoffer_worker(WorkerId wid) {
+  auto it = workers_.find(wid);
+  if (it == workers_.end()) return;
+  Worker& w = it->second;
+  // Only an evicted-but-alive idle worker qualifies: EOF clears `evicted`,
+  // so a worker whose connection died in the meantime is skipped, and a
+  // still-banned node (probation extended by a re-ban) stays out.
+  if (!w.evicted || w.connected || w.busy || !w.sock) return;
+  if (node_blacklisted(w.node)) return;
+  w.evicted = false;
+  w.connected = true;
+  ++connected_;
+  peak_capacity_ = std::max(peak_capacity_, connected_);
+  ++reenlisted_;
+  ready_.push_back(wid);
+  kick();
 }
 
 void Service::release_undispatched(const std::vector<WorkerId>& claimed,

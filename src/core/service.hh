@@ -16,11 +16,37 @@
 //   * charges a fixed dispatch cost per task sent — the single-scheduler
 //     bottleneck that caps launch throughput (Figs 6 and 9).
 //
+// Failure handling goes beyond the paper's "retries failed jobs" sentence:
+// every settled attempt is *classified* (FailureReason in core/job.hh) and
+// appended to JobRecord::history, and requeues run through a retry policy
+// engine (RetryPolicy) instead of an immediate head-of-line push:
+//
+//   * retry.max_attempts (default 3) bounds the attempt budget; with
+//     retry.infra_exempt, infrastructure failures (lost/evicted workers,
+//     gang partners, launch timeouts) are charged to a separate
+//     retry.max_infra_failures budget (default 64) instead;
+//   * failed attempts requeue after exponential backoff —
+//     retry.backoff_base (250ms) * retry.backoff_factor (2.0)^(failures-1),
+//     capped at retry.backoff_max (30s), stretched by up to
+//     retry.backoff_jitter (0.25) of itself from a deterministic rng seeded
+//     with retry.jitter_seed — so a poison job cannot hot-loop and
+//     same-seed runs reproduce identical schedules;
+//   * a job whose *own* failures exhaust the budget is quarantined
+//     (JobStatus::kQuarantined) rather than merely failed;
+//   * JobSpec::retry overrides the service-wide policy per job;
+//   * mpi_launch_timeout bounds the gang wiring phase (proxy dial-back +
+//     PMI init), failing fast with kLaunchTimeout;
+//   * fail_unsatisfiable settles queued jobs wider than the machine can
+//     ever again supply (kServiceAbort) instead of letting wait_all hang;
+//   * blacklist_probation paroles blacklisted nodes after a cooldown with
+//     their eviction count halved.
+//
 // Extensions beyond the paper's evaluated system, each behind a Config
 // switch and exercised by the ablation benches (paper §7 future work):
 // priority+backfill scheduling and network-aware worker grouping.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -36,6 +62,7 @@
 #include "os/machine.hh"
 #include "os/program.hh"
 #include "pmi/hydra.hh"
+#include "sim/random.hh"
 #include "sim/sync.hh"
 #include "sim/task.hh"
 
@@ -59,8 +86,13 @@ class Service {
     sim::Duration mpi_job_overhead = sim::milliseconds(5);
     /// Forwarded to each job's MpiexecSpec (see pmi/hydra.hh).
     sim::Duration proxy_setup_cost = sim::microseconds(500);
-    /// Total attempts per job before it is declared failed.
-    int max_attempts = 3;
+    /// Default retry policy (attempt budgets + backoff); JobSpec::retry
+    /// overrides it per job. See core/job.hh.
+    RetryPolicy retry;
+    /// Launch-phase deadline forwarded to each MPI job's MpiexecSpec: the
+    /// gang must finish wiring (proxy dial-back + PMI init) within this
+    /// long or the attempt fails fast with kLaunchTimeout. 0 disables.
+    sim::Duration mpi_launch_timeout = 0;
     SchedPolicy policy = SchedPolicy::kFifo;
     /// §7: group MPI jobs onto workers with nearby node ids (torus
     /// locality) instead of first-come-first-served.
@@ -80,6 +112,15 @@ class Service {
     /// bad-node blacklist. 0 disables (evicted workers may re-enlist by
     /// sending "ready" again, e.g. after a stall drains).
     int blacklist_after = 0;
+    /// Probation window for blacklisted nodes: after this long banned, a
+    /// node may re-enlist with its eviction count halved (so a repeat
+    /// offender is re-banned quickly). 0 = the ban is permanent.
+    sim::Duration blacklist_probation = 0;
+    /// When the ready pool can never again satisfy a queued job's width —
+    /// evictions and blacklisting shrank the machine below a width it once
+    /// met — fail the job with kServiceAbort instead of letting wait_all
+    /// hang on it.
+    bool fail_unsatisfiable = true;
   };
 
   /// Observation hooks for benchmark harnesses.
@@ -131,12 +172,23 @@ class Service {
   std::size_t pending_jobs() const { return queue_.size(); }
   std::size_t completed_jobs() const { return completed_; }
   std::size_t failed_jobs() const { return failed_; }
+  std::size_t quarantined_jobs() const { return quarantined_; }
 
   // Liveness/eviction counters (chaos benches and the fault-matrix tests).
   std::size_t evicted_workers() const { return evicted_; }
   std::size_t reenlisted_workers() const { return reenlisted_; }
   std::size_t heartbeats_received() const { return heartbeats_; }
   std::size_t blacklist_rejections() const { return blacklist_rejections_; }
+  std::size_t blacklist_paroles() const { return blacklist_paroles_; }
+
+  // Failure-taxonomy counters (fault-spectrum bench, Fig 10).
+  /// Failures classified as `reason` across all jobs: one count per failed
+  /// attempt, plus attempt-less settles (queued-job deadlines, aborts).
+  std::size_t failures_by_reason(FailureReason reason) const {
+    return failures_by_reason_.at(static_cast<std::size_t>(reason));
+  }
+  /// Delayed requeues the retry engine has scheduled.
+  std::size_t retries_scheduled() const { return retries_scheduled_; }
 
   /// Test hook: the ready pool holds no duplicates and only workers that
   /// are connected, idle, and not evicted.
@@ -172,7 +224,20 @@ class Service {
     std::string task_id;  // sequential jobs: the outstanding task id
     sim::TimerHandle timeout;
     bool deadline_passed = false;
+    /// Armed between a failed attempt and its delayed requeue; while it is
+    /// pending the job is kPending but *not* in queue_.
+    sim::TimerHandle retry_timer;
+    bool in_backoff = false;
     std::unique_ptr<sim::Gate> settled;  // created lazily by wait_job
+  };
+
+  /// Per-node eviction/blacklist bookkeeping (see Config::blacklist_after
+  /// and Config::blacklist_probation).
+  struct NodeHealth {
+    int evictions = 0;
+    bool banned = false;
+    /// Parole time; -1 = permanent (blacklist_probation == 0).
+    sim::Time banned_until = -1;
   };
 
   sim::Task<void> accept_loop();
@@ -185,14 +250,45 @@ class Service {
   /// Selects and claims `count` ready workers (FCFS or network-aware).
   std::vector<WorkerId> claim_workers(std::size_t count);
   sim::Task<void> place_job(JobId id);
-  void job_finished(JobId id, int status);
+  void job_finished(JobId id, int status, FailureReason reason);
   void deadline_expired(JobId id);
   void check_all_done();
+
+  /// Retry policy engine.
+  const RetryPolicy& policy_for(const Job& job) const {
+    return job.rec.spec.retry ? *job.rec.spec.retry : config_.retry;
+  }
+  /// Backoff before retry number `failures` (1-based), jitter included.
+  sim::Duration backoff_delay(const RetryPolicy& pol, int failures);
+  /// Fires when a backoff timer expires: requeues (or fails, if the
+  /// machine shrank below the job's width meanwhile).
+  void requeue_job(JobId id);
+  /// Terminal-state bookkeeping shared by every settle site.
+  void settle_job(Job& job, JobStatus status, FailureReason reason);
+  /// kWorkerLost for one-worker jobs, kGangPartnerLost for gangs.
+  FailureReason worker_lost_reason(const Job& job) const;
+  /// Maps a failed mpiexec run onto the taxonomy.
+  FailureReason classify_mpi_failure(const Job& job,
+                                     const pmi::Mpiexec& mpx) const;
+
+  /// Graceful degradation: workers that could still serve jobs (connected,
+  /// or evicted but able to re-enlist).
+  std::size_t potential_capacity() const;
+  /// Fails queued/backing-off jobs that were once satisfiable but whose
+  /// width now exceeds potential_capacity() forever (kServiceAbort).
+  void reap_unsatisfiable();
 
   /// Liveness machinery (§5 feature 3 taken beyond EOF detection).
   void liveness_check(WorkerId wid);
   void evict_worker(WorkerId wid);
-  bool node_blacklisted(os::NodeId node) const;
+  /// Ban check without side effects (used by const paths).
+  bool node_banned(os::NodeId node) const;
+  /// Ban check that applies lazy parole when probation has expired.
+  bool node_blacklisted(os::NodeId node);
+  /// Fires at a ban's parole date: re-enlists a still-connected evicted
+  /// worker whose "ready" was refused during probation (it waits silently,
+  /// so nothing else would re-offer it).
+  void reoffer_worker(WorkerId wid);
   /// Returns claimed-but-never-dispatched workers to the ready pool when a
   /// job settles mid-placement (otherwise they would leak as busy).
   void release_undispatched(const std::vector<WorkerId>& claimed,
@@ -225,15 +321,25 @@ class Service {
     std::unique_ptr<sim::Gate> done;
   };
   std::map<std::string, StageOp> staging_;
-  std::map<os::NodeId, int> node_evictions_;
+  std::map<os::NodeId, NodeHealth> node_health_;
+  sim::Rng retry_rng_;
   std::size_t connected_ = 0;
+  /// Most workers ever simultaneously connected — a job whose width once
+  /// fit under this was satisfiable at some point (see reap_unsatisfiable).
+  std::size_t peak_capacity_ = 0;
   std::size_t running_ = 0;
+  /// Jobs waiting out a retry backoff (kPending but not in queue_).
+  std::size_t backing_off_ = 0;
   std::size_t completed_ = 0;
   std::size_t failed_ = 0;
+  std::size_t quarantined_ = 0;
   std::size_t evicted_ = 0;
   std::size_t reenlisted_ = 0;
   std::size_t heartbeats_ = 0;
   std::size_t blacklist_rejections_ = 0;
+  std::size_t blacklist_paroles_ = 0;
+  std::size_t retries_scheduled_ = 0;
+  std::array<std::size_t, kFailureReasonCount> failures_by_reason_{};
 };
 
 }  // namespace jets::core

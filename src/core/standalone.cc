@@ -80,6 +80,10 @@ sim::Task<BatchReport> StandaloneJets::run_batch(std::vector<JobSpec> jobs) {
     report.records.push_back(rec);
     if (rec.status == JobStatus::kDone) ++report.completed;
     if (rec.status == JobStatus::kFailed) ++report.failed;
+    if (rec.status == JobStatus::kQuarantined) {
+      ++report.failed;
+      ++report.quarantined;
+    }
   }
   co_return report;
 }

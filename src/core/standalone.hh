@@ -37,7 +37,10 @@ struct BatchReport {
   sim::Time batch_started = 0;
   sim::Time batch_finished = 0;
   std::size_t completed = 0;
+  /// Jobs that did not finish: kFailed *and* kQuarantined.
   std::size_t failed = 0;
+  /// Of `failed`, jobs quarantined as poison (app budget exhausted).
+  std::size_t quarantined = 0;
   std::size_t total_slots = 0;
 
   double makespan_seconds() const {

@@ -83,7 +83,7 @@ sim::Task<void> task_wrapper(os::Machine* machine, const os::AppRegistry* apps,
   if (state->outstanding.erase(req.task_id) == 0) co_return;
   state->track_work();
   state->sock->send(net::Message(
-      kMsgDone, {req.task_id, std::to_string(status)}));
+      kMsgDone, {req.task_id, std::to_string(status), "app"}));
   state->sock->send(net::Message(kMsgReady));
 }
 
@@ -187,7 +187,8 @@ sim::Task<void> worker_main(const os::AppRegistry* apps, WorkerConfig config,
               state->outstanding.erase(it);
               state->track_work();
               if (state->sock) {
-                state->sock->send(net::Message(kMsgDone, {task_id, "124"}));
+                state->sock->send(
+                    net::Message(kMsgDone, {task_id, "124", "watchdog"}));
                 state->sock->send(net::Message(kMsgReady));
               }
             });
@@ -199,7 +200,7 @@ sim::Task<void> worker_main(const os::AppRegistry* apps, WorkerConfig config,
         machine.kill(it->second);
         state->outstanding.erase(it);
         state->track_work();
-        state->sock->send(net::Message(kMsgDone, {task_id, "137"}));
+        state->sock->send(net::Message(kMsgDone, {task_id, "137", "killed"}));
         state->sock->send(net::Message(kMsgReady));
       }
     } else if (m->tag == kMsgStageIn) {

@@ -88,7 +88,11 @@ struct WorkerConfig {
 /// Protocol tags between worker and service (also used by Coasters):
 ///   worker -> service:  "reg" [node]          once, after staging
 ///                       "ready"                idle, requesting work
-///                       "done" [task, status]  task finished/killed
+///                       "done" [task, status, reason]
+///                        task finished; reason is "app" (the command's own
+///                        exit), "watchdog" (worker-side task watchdog fired,
+///                        status 124) or "killed" (service-requested kill,
+///                        status 137)
 ///                       "staged" [path]        stage-in written locally
 ///                       "hb"                   liveness ping while busy
 ///   service -> worker:  "run" [task, n, argv..., k=v...]

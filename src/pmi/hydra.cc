@@ -119,6 +119,7 @@ Mpiexec::Mpiexec(os::Machine& machine, const os::AppRegistry& apps,
 }
 
 Mpiexec::~Mpiexec() {
+  launch_timer_.cancel();  // callback captures `this`
   if (control_actor_ != 0) machine_->engine().kill(control_actor_);
   for (sim::ActorId id : handler_actors_) machine_->engine().kill(id);
 }
@@ -133,6 +134,17 @@ void Mpiexec::start() {
   control_addr_ = net::Address{host_, machine_->allocate_port()};
   listener_ = machine_->network().listen(control_addr_);
   control_actor_ = machine_->engine().spawn("mpiexec", control_service());
+  if (spec_.launch_timeout > 0) {
+    launch_timer_ = machine_->engine().call_in(spec_.launch_timeout, [this] {
+      if (launched_ || done()) return;
+      fail(MpiexecFailKind::kLaunchTimeout,
+           "gang not wired up within launch deadline (" +
+               std::to_string(proxies_wired_) + "/" +
+               std::to_string(proxy_count()) + " proxies, " +
+               std::to_string(ranks_inited_) + "/" +
+               std::to_string(spec_.nprocs) + " ranks)");
+    });
+  }
 }
 
 std::vector<std::vector<std::string>> Mpiexec::proxy_commands() const {
@@ -178,17 +190,38 @@ sim::Task<int> Mpiexec::wait() {
 
 void Mpiexec::note_proxy_done(int code) {
   ++proxies_done_;
-  if (code != 0) ++failures_;
-  if (proxies_done_ >= proxy_count()) done_gate_->open();
+  if (code != 0) {
+    ++failures_;
+    if (fail_kind_ == MpiexecFailKind::kNone) {
+      fail_kind_ = MpiexecFailKind::kExit;
+      failure_reason_ = "proxy reported nonzero rank exit";
+    }
+  }
+  if (proxies_done_ >= proxy_count()) {
+    launch_timer_.cancel();
+    done_gate_->open();
+  }
+}
+
+void Mpiexec::note_launch_progress() {
+  if (launched_) return;
+  if (proxies_wired_ >= proxy_count() && ranks_inited_ >= spec_.nprocs) {
+    launched_ = true;
+    launch_timer_.cancel();
+  }
 }
 
 void Mpiexec::abort(const std::string& why) {
-  if (!done()) fail(why);
+  if (!done()) fail(MpiexecFailKind::kAborted, why);
 }
 
-void Mpiexec::fail(const std::string& why) {
+void Mpiexec::fail(MpiexecFailKind kind, const std::string& why) {
   ++failures_;
-  failure_reason_ = why;
+  if (fail_kind_ == MpiexecFailKind::kNone) {
+    fail_kind_ = kind;
+    failure_reason_ = why;
+  }
+  launch_timer_.cancel();
   done_gate_->open();  // surface the failure immediately; JETS cleans up
 }
 
@@ -226,12 +259,16 @@ sim::Task<void> Mpiexec::handle_connection(net::SocketPtr sock) {
       for (const auto& a : spec_.user_argv) args.push_back(a);
       for (const auto& [k, v] : spec_.user_vars) args.push_back(k + "=" + v);
       sock->send(net::Message("proxy.exec", std::move(args)));
+      ++proxies_wired_;
+      note_launch_progress();
     } else if (m->tag == "proxy.exit") {
       proxy_reported = true;
       note_proxy_done(std::stoi(m->args.at(1)));
     } else if (m->tag == "pmi.init") {
       rank = std::stoi(m->args.at(0));
       rank_socks_.at(static_cast<std::size_t>(rank)) = sock;
+      ++ranks_inited_;
+      note_launch_progress();
     } else if (m->tag == "pmi.put") {
       kvs_.put(m->args.at(0), m->args.at(1));
     } else if (m->tag == "pmi.get") {
@@ -252,9 +289,10 @@ sim::Task<void> Mpiexec::handle_connection(net::SocketPtr sock) {
   }
   // Connection gone: decide whether that was orderly.
   if (is_proxy && !proxy_reported) {
-    fail("proxy disconnected before exit report");
+    fail(MpiexecFailKind::kDisconnect, "proxy disconnected before exit report");
   } else if (rank >= 0 && !rank_finalized && !done()) {
-    fail("rank " + std::to_string(rank) + " disconnected before finalize");
+    fail(MpiexecFailKind::kDisconnect,
+         "rank " + std::to_string(rank) + " disconnected before finalize");
   }
   if (rank >= 0) rank_socks_.at(static_cast<std::size_t>(rank)).reset();
 }

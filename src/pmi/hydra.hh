@@ -55,6 +55,24 @@ struct MpiexecSpec {
   /// This is why wide jobs are "individually slower to start" (Fig 9):
   /// a 64-proxy job pays 64x this, one after another.
   sim::Duration proxy_setup_cost = sim::microseconds(500);
+  /// Launch-phase deadline: every proxy must dial back AND every rank must
+  /// reach pmi.init within this long of start(), or the job fails fast with
+  /// MpiexecFailKind::kLaunchTimeout. 0 disables the deadline. This covers
+  /// the window a job-level timeout (which defaults to off) would not: a
+  /// proxy hung or killed *before wiring completed* otherwise blocks wait()
+  /// forever.
+  sim::Duration launch_timeout = 0;
+};
+
+/// Coarse classification of why an mpiexec run failed, for the scheduler's
+/// failure taxonomy. kNone until the first failure; the *first* failure wins
+/// (a launch timeout that later also sees proxy EOFs stays kLaunchTimeout).
+enum class MpiexecFailKind {
+  kNone = 0,       // no failure (yet)
+  kExit,           // a proxy reported a nonzero rank exit status
+  kDisconnect,     // a proxy or rank connection died before its exit report
+  kLaunchTimeout,  // the gang never finished wiring within launch_timeout
+  kAborted,        // abort() was called (scheduler timeout / preemption)
 };
 
 /// One mpiexec instance == one MPI job. JETS runs many of these
@@ -96,6 +114,14 @@ class Mpiexec {
   /// scheduler for timeouts / preemption. Idempotent; no-op once done.
   void abort(const std::string& why = "aborted");
 
+  /// Why the job failed (kNone if it has not failed). First failure wins.
+  MpiexecFailKind fail_kind() const { return fail_kind_; }
+  const std::string& failure_reason() const { return failure_reason_; }
+
+  /// True once every proxy dialed back and every rank reached pmi.init —
+  /// the window the launch-phase deadline covers is over.
+  bool launch_complete() const { return launched_; }
+
   /// Total application stdout bytes routed app->proxy->mpiexec (§6.1.6).
   std::uint64_t stdout_bytes() const { return stdout_bytes_; }
 
@@ -108,7 +134,8 @@ class Mpiexec {
   sim::Task<void> control_service();
   sim::Task<void> handle_connection(net::SocketPtr sock);
   void note_proxy_done(int code);
-  void fail(const std::string& why);
+  void note_launch_progress();
+  void fail(MpiexecFailKind kind, const std::string& why);
 
   os::Machine* machine_;
   const os::AppRegistry* apps_;
@@ -126,6 +153,11 @@ class Mpiexec {
   std::vector<net::SocketPtr> rank_socks_;  // indexed by rank
   int proxies_done_ = 0;
   int failures_ = 0;
+  int proxies_wired_ = 0;  // sent proxy.hello and received proxy.exec
+  int ranks_inited_ = 0;   // sent pmi.init
+  bool launched_ = false;
+  sim::TimerHandle launch_timer_;
+  MpiexecFailKind fail_kind_ = MpiexecFailKind::kNone;
   std::uint64_t stdout_bytes_ = 0;
   std::unique_ptr<sim::Gate> done_gate_;
   std::string failure_reason_;

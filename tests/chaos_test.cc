@@ -75,7 +75,7 @@ MatrixOutcome run_matrix(FaultKind kind, bool mpi, std::uint64_t seed = 7) {
   StandaloneOptions options;
   options.worker.task_overhead = sim::milliseconds(2);
   options.worker.stage_files = {pmi::kProxyBinary, "sleep", "mpi_sleep"};
-  options.service.max_attempts = 10;
+  options.service.retry.max_attempts = 10;
   // Liveness: pings twice a second while busy; 2 s of silence evicts.
   options.worker.heartbeat_interval = sim::milliseconds(500);
   options.service.worker_liveness_timeout = sim::seconds(2);

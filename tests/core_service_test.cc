@@ -197,19 +197,24 @@ TEST(Standalone, ExhaustedRetriesFailTheJob) {
     throw std::runtime_error("bad app");
   });
   StandaloneOptions opts;
-  opts.service.max_attempts = 2;
+  opts.service.retry.max_attempts = 2;
   StandaloneJets jets(bed.machine, bed.apps, opts);
   jets.start(JetsBed::nodes(2));
   BatchReport r = bed.run(jets, {seq_job({"always_fails"})});
+  // Every attempt failed in the app itself, so the retry engine quarantines
+  // the job as poison rather than plain-failing it.
   EXPECT_EQ(r.failed, 1u);
-  EXPECT_EQ(r.records[0].status, JobStatus::kFailed);
+  EXPECT_EQ(r.quarantined, 1u);
+  EXPECT_EQ(r.records[0].status, JobStatus::kQuarantined);
   EXPECT_EQ(r.records[0].attempts, 2);
+  EXPECT_EQ(r.records[0].last_reason, FailureReason::kAppExit);
+  EXPECT_EQ(r.records[0].app_failures, 2);
 }
 
 TEST(Standalone, TimeoutAbortsHangingJob) {
   JetsBed bed(os::Machine::breadboard(2));
   StandaloneOptions opts;
-  opts.service.max_attempts = 1;
+  opts.service.retry.max_attempts = 1;
   StandaloneJets jets(bed.machine, bed.apps, opts);
   jets.start(JetsBed::nodes(2));
   JobSpec hang = seq_job({"sleep", "100000"});
@@ -224,7 +229,7 @@ TEST(Standalone, FaultInjectorDrainsWorkersButServiceSurvives) {
   // oversized batch of quick tasks; JETS keeps using surviving workers.
   JetsBed bed(os::Machine::breadboard(8));
   StandaloneOptions opts = bed.fast_options();
-  opts.service.max_attempts = 10;
+  opts.service.retry.max_attempts = 10;
   StandaloneJets jets(bed.machine, bed.apps, opts);
   jets.start(JetsBed::nodes(8));
   FaultInjector chaos(bed.machine, jets.worker_pids(), sim::seconds(2),
@@ -279,7 +284,7 @@ TEST(Standalone, DeadlineMidPlacementFailsJobAndFreesWorker) {
   JetsBed bed(os::Machine::breadboard(1));
   StandaloneOptions opts;
   opts.service.dispatch_overhead = sim::seconds(10);
-  opts.service.max_attempts = 3;
+  opts.service.retry.max_attempts = 3;
   StandaloneJets jets(bed.machine, bed.apps, opts);
   jets.start(JetsBed::nodes(1));
   JobSpec doomed = seq_job({"sleep", "1"});
@@ -303,7 +308,7 @@ TEST(Standalone, MaxAttemptsExhaustedByWorkerDeaths) {
   // forever on an allocation that keeps eating it.
   JetsBed bed(os::Machine::breadboard(2));
   StandaloneOptions opts = bed.fast_options();
-  opts.service.max_attempts = 2;
+  opts.service.retry.max_attempts = 2;
   StandaloneJets jets(bed.machine, bed.apps, opts);
   jets.start(JetsBed::nodes(2));
   bed.engine.call_at(sim::seconds(1),

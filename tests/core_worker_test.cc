@@ -68,7 +68,7 @@ TEST(ServiceEdge, WaitAllWithNoJobsReturnsImmediately) {
 TEST(ServiceEdge, UnknownCommandFailsTheJobNotTheSimulation) {
   EdgeBed bed(2);
   StandaloneOptions opts;
-  opts.service.max_attempts = 2;
+  opts.service.retry.max_attempts = 2;
   StandaloneJets jets(bed.machine, bed.apps, opts);
   jets.start(bed.nodes(2));
   JobSpec bad;
@@ -82,7 +82,10 @@ TEST(ServiceEdge, UnknownCommandFailsTheJobNotTheSimulation) {
   }(jets, std::move(bad), report));
   bed.engine.run();
   EXPECT_EQ(report.failed, 1u);
-  EXPECT_EQ(report.records[0].status, JobStatus::kFailed);
+  // Both attempts died inside the app (exec failure), so the job is
+  // quarantined as poison with an app-exit reason.
+  EXPECT_EQ(report.records[0].status, JobStatus::kQuarantined);
+  EXPECT_EQ(report.records[0].last_reason, FailureReason::kAppExit);
 }
 
 TEST(ServiceEdge, SecondBatchReusesIdleWorkers) {
@@ -171,7 +174,7 @@ TEST(ServiceEdge, RecordsSurviveRetriesWithAccurateAttempts) {
     co_return;
   });
   StandaloneOptions opts;
-  opts.service.max_attempts = 5;
+  opts.service.retry.max_attempts = 5;
   StandaloneJets jets(bed.machine, bed.apps, opts);
   jets.start(bed.nodes(3));
   BatchReport report;
@@ -304,7 +307,7 @@ TEST(Watchdog, HungTaskIsKilledAndSlotRecovered) {
   StandaloneOptions opts;
   opts.worker.task_overhead = sim::milliseconds(2);
   opts.worker.task_watchdog = sim::seconds(5);
-  opts.service.max_attempts = 1;
+  opts.service.retry.max_attempts = 1;
   StandaloneJets jets(bed.machine, bed.apps, opts);
   jets.start(bed.nodes(2));
   BatchReport report;

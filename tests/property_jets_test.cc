@@ -35,7 +35,7 @@ TEST_P(JetsStressTest, RandomMixedWorkloadAlwaysSettles) {
   StandaloneOptions options;
   options.worker.task_overhead = sim::milliseconds(3);
   options.worker.stage_files = {pmi::kProxyBinary, "mpi_sleep"};
-  options.service.max_attempts = 4;
+  options.service.retry.max_attempts = 4;
   StandaloneJets jets(bed.machine, bed.apps, options);
   std::vector<os::NodeId> alloc;
   for (std::size_t i = 0; i < kNodes; ++i) alloc.push_back(static_cast<os::NodeId>(i));
@@ -83,11 +83,18 @@ TEST_P(JetsStressTest, RandomMixedWorkloadAlwaysSettles) {
   EXPECT_EQ(report.completed + report.failed, report.records.size());
   EXPECT_EQ(report.records.size(), static_cast<std::size_t>(njobs));
   for (const auto& rec : report.records) {
-    EXPECT_TRUE(rec.status == JobStatus::kDone || rec.status == JobStatus::kFailed);
+    EXPECT_TRUE(job_settled(rec.status));
     EXPECT_GE(rec.attempts, rec.status == JobStatus::kDone ? 1 : 0);
     EXPECT_LE(rec.attempts, 4);
     if (rec.status == JobStatus::kDone) {
       EXPECT_GE(rec.finished_at, rec.started_at);
+    }
+    // Attempt history mirrors the attempt counter, and every attempt but a
+    // trailing in-flight one carries a settled end time.
+    EXPECT_EQ(rec.history.size(), static_cast<std::size_t>(rec.attempts));
+    for (const auto& att : rec.history) {
+      EXPECT_GE(att.started_at, 0);
+      EXPECT_GE(att.ended_at, att.started_at);
     }
   }
   // Invariant 3: no busy workers or queued jobs left behind.
@@ -129,7 +136,7 @@ ChaosRunOutcome run_chaos_stress(std::uint64_t seed) {
   StandaloneOptions options;
   options.worker.task_overhead = sim::milliseconds(3);
   options.worker.stage_files = {pmi::kProxyBinary, "mpi_sleep"};
-  options.service.max_attempts = 8;
+  options.service.retry.max_attempts = 8;
   options.worker.heartbeat_interval = sim::milliseconds(500);
   options.service.worker_liveness_timeout = sim::seconds(3);
   auto registry = std::make_shared<WorkerHangRegistry>();
@@ -201,7 +208,7 @@ ChaosRunOutcome run_chaos_stress(std::uint64_t seed) {
 
   ChaosRunOutcome out;
   out.njobs = static_cast<std::size_t>(njobs);
-  out.max_attempts = options.service.max_attempts;
+  out.max_attempts = options.service.retry.max_attempts;
   bed.engine.spawn("driver", [](StandaloneJets& jets, ChaosEngine& chaos,
                                 std::vector<JobSpec> jobs,
                                 BatchReport& report) -> sim::Task<void> {
@@ -240,8 +247,7 @@ TEST_P(ChaosPropertyTest, RandomFaultScheduleSettlesAndReproduces) {
   EXPECT_EQ(a.report.completed + a.report.failed, a.njobs);
   EXPECT_EQ(a.report.records.size(), a.njobs);
   for (const auto& rec : a.report.records) {
-    EXPECT_TRUE(rec.status == JobStatus::kDone ||
-                rec.status == JobStatus::kFailed);
+    EXPECT_TRUE(job_settled(rec.status));
     EXPECT_LE(rec.attempts, a.max_attempts);
   }
   // Invariant 3: service bookkeeping is clean after the dust settles.

@@ -199,7 +199,7 @@ TEST(SwiftEngine, FailedAppAbortsRun) {
     throw std::runtime_error("app error");
   });
   CoasterService::Config cfg;
-  cfg.service.max_attempts = 1;
+  cfg.service.retry.max_attempts = 1;
   cfg.worker.task_overhead = sim::milliseconds(2);
   CoasterService coasters(bed.machine, bed.apps, cfg);
   coasters.start_on(SwiftBed::nodes(2));
