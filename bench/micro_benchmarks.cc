@@ -108,6 +108,124 @@ void BM_LjStep(benchmark::State& state) {
 }
 BENCHMARK(BM_LjStep)->Arg(108)->Arg(500);
 
+void BM_EngineScheduleCancel(benchmark::State& state) {
+  // The liveness/retry-timer pattern that dominates the fault benches: arm
+  // a batch of far-future timers, cancel them all before they fire, repeat.
+  // In a naive engine every cancelled timer bloats the heap (and keeps its
+  // closure alive) until the dead event surfaces at the top.
+  const auto rounds = static_cast<int>(state.range(0));
+  constexpr int kBatch = 128;
+  for (auto _ : state) {
+    sim::Engine e;
+    e.spawn("churn", [](sim::Engine& e, int rounds) -> sim::Task<void> {
+      std::vector<sim::TimerHandle> handles;
+      handles.reserve(kBatch);
+      for (int r = 0; r < rounds; ++r) {
+        for (int k = 0; k < kBatch; ++k) {
+          handles.push_back(e.call_in(sim::seconds(1000),
+                                      [p = &e, k] { benchmark::DoNotOptimize(p + k); }));
+        }
+        for (auto& h : handles) h.cancel();
+        handles.clear();
+        co_await sim::delay(sim::microseconds(1));
+      }
+    }(e, rounds));
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * kBatch);
+}
+BENCHMARK(BM_EngineScheduleCancel)->Arg(100)->Arg(400);
+
+void BM_EngineTimerDispatch(benchmark::State& state) {
+  // Pure callback throughput: n timers at distinct times, all firing.
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine e;
+    std::uint64_t sum = 0;
+    for (int i = 0; i < n; ++i) {
+      e.call_at(sim::microseconds(i), [&sum, i] { sum += static_cast<std::uint64_t>(i); });
+    }
+    e.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineTimerDispatch)->Arg(10000);
+
+void BM_ServiceChooseJobBackfill(benchmark::State& state) {
+  // Scheduler-pick cost under a deep mixed-priority backlog: q jobs drain
+  // through 4 workers, so the service re-evaluates the queue on every
+  // settle. A per-kick sort of the backlog makes this quadratic-ish in q.
+  const auto q = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    os::Machine machine(engine, os::Machine::breadboard(4));
+    os::AppRegistry apps;
+    apps.install(pmi::kProxyBinary, pmi::Mpiexec::proxy_program(apps));
+    machine.shared_fs().put(pmi::kProxyBinary, 2'000'000);
+    apps.install("noop", [](os::Env&) -> sim::Task<void> { co_return; });
+    machine.shared_fs().put("noop", 16'384);
+    core::StandaloneOptions options;
+    options.worker.task_overhead = sim::milliseconds(1);
+    options.service.policy = core::SchedPolicy::kPriorityBackfill;
+    core::StandaloneJets jets(machine, apps, options);
+    jets.start({0, 1, 2, 3});
+    std::vector<core::JobSpec> jobs(q);
+    for (std::size_t i = 0; i < q; ++i) {
+      jobs[i].argv = {"noop"};
+      jobs[i].priority = static_cast<int>((i * 2654435761u) % 8);
+    }
+    engine.spawn("driver", [](core::StandaloneJets& jets,
+                              std::vector<core::JobSpec> jobs) -> sim::Task<void> {
+      (void)co_await jets.run_batch(std::move(jobs));
+    }(jets, std::move(jobs)));
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ServiceChooseJobBackfill)->Arg(512);
+
+void BM_ServiceClaimWorkersNetworkAware(benchmark::State& state) {
+  // Network-aware grouping cost: every MPI placement scans the ready pool
+  // for the minimum node-id span window. A per-claim copy+sort of the whole
+  // pool makes each placement O(R log R).
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    os::Machine machine(engine, os::Machine::breadboard(nodes));
+    os::AppRegistry apps;
+    apps.install(pmi::kProxyBinary, pmi::Mpiexec::proxy_program(apps));
+    machine.shared_fs().put(pmi::kProxyBinary, 2'000'000);
+    apps.install("mpi_sleep", [](os::Env& env) -> sim::Task<void> {
+      co_await sim::delay(sim::milliseconds(1));
+      (void)env;
+    });
+    machine.shared_fs().put("mpi_sleep", 25'000'000);
+    core::StandaloneOptions options;
+    options.worker.task_overhead = sim::milliseconds(1);
+    options.service.network_aware_grouping = true;
+    core::StandaloneJets jets(machine, apps, options);
+    std::vector<os::NodeId> ids;
+    for (std::size_t i = 0; i < nodes; ++i) ids.push_back(static_cast<os::NodeId>(i));
+    jets.start(ids);
+    std::vector<core::JobSpec> jobs;
+    for (int i = 0; i < 64; ++i) {
+      core::JobSpec s;
+      s.kind = core::JobKind::kMpi;
+      s.nprocs = 8;
+      s.argv = {"mpi_sleep", "0.001"};
+      jobs.push_back(std::move(s));
+    }
+    engine.spawn("driver", [](core::StandaloneJets& jets,
+                              std::vector<core::JobSpec> jobs) -> sim::Task<void> {
+      (void)co_await jets.run_batch(std::move(jobs));
+    }(jets, std::move(jobs)));
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ServiceClaimWorkersNetworkAware)->Arg(256);
+
 void BM_JetsSequentialDispatch(benchmark::State& state) {
   // Host cost of simulating one full JETS task cycle (dispatch, exec,
   // done/ready) — the inner loop of the Fig 6/10 harnesses.

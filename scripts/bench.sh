@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Perf-trajectory harness for the simulation substrate.
+#
+#   scripts/bench.sh              # append one entry to BENCH_sim.json
+#   scripts/bench.sh --check      # run benches, print entry, do not append
+#
+# Runs the google-benchmark micro suite (engine schedule/cancel/dispatch,
+# scheduler choose_job/claim_workers) plus wall-clock timings of the two
+# headline figure benches (fig06, fig09), and appends one JSON entry to
+# BENCH_sim.json keyed by commit. The file is an append-only trajectory:
+# one entry per measurement, never rewritten, so regressions are visible
+# as a time series across PRs. Numbers are host-dependent — compare
+# entries only within one machine (the `host` field).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+append=1
+[[ "${1:-}" == "--check" ]] && append=0
+
+BUILD="${BUILD:-build}"
+OUT="BENCH_sim.json"
+
+if [[ ! -x "$BUILD/bench/micro_benchmarks" ]]; then
+  echo "bench.sh: $BUILD/bench/micro_benchmarks not built (run scripts/check.sh first)" >&2
+  exit 1
+fi
+
+micro_json="$(mktemp)"
+trap 'rm -rf "$micro_json"' EXIT
+
+echo "== micro suite (google-benchmark) =="
+"$BUILD/bench/micro_benchmarks" \
+  --benchmark_format=json \
+  --benchmark_min_time=0.2 > "$micro_json"
+
+wall_ns() {  # wall-clock of one figure bench, output discarded
+  local t0 t1
+  t0=$(date +%s%N)
+  "$1" > /dev/null
+  t1=$(date +%s%N)
+  echo $((t1 - t0))
+}
+
+echo "== figure benches (wall clock) =="
+fig06_ns=$(wall_ns "$BUILD/bench/fig06_seq_rate")
+fig09_ns=$(wall_ns "$BUILD/bench/fig09_mpi_starts")
+
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+date_iso=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+
+entry=$(python3 - "$micro_json" "$commit" "$date_iso" "$fig06_ns" "$fig09_ns" <<'PY'
+import json, platform, sys
+
+micro_path, commit, date_iso, fig06_ns, fig09_ns = sys.argv[1:6]
+with open(micro_path) as f:
+    micro = json.load(f)
+
+benches = {}
+for b in micro.get("benchmarks", []):
+    if b.get("run_type") == "aggregate":
+        continue
+    # google-benchmark reports in the unit it chose; normalise to ns.
+    scale = {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}[b.get("time_unit", "ns")]
+    benches[b["name"]] = {
+        "real_time_ns": round(b["real_time"] * scale),
+        "cpu_time_ns": round(b["cpu_time"] * scale),
+        "iterations": b["iterations"],
+    }
+
+entry = {
+    "commit": commit,
+    "date": date_iso,
+    "host": platform.node(),
+    "figures_wall_ns": {
+        "fig06_seq_rate": int(fig06_ns),
+        "fig09_mpi_starts": int(fig09_ns),
+    },
+    "micro": benches,
+}
+print(json.dumps(entry, indent=2))
+PY
+)
+
+echo "$entry"
+
+if [[ "$append" == 1 ]]; then
+  python3 - "$OUT" <<PY
+import json, sys
+
+out = sys.argv[1]
+entry = json.loads('''$entry''')
+try:
+    with open(out) as f:
+        trajectory = json.load(f)
+except FileNotFoundError:
+    trajectory = []
+trajectory.append(entry)
+with open(out, "w") as f:
+    json.dump(trajectory, f, indent=2)
+    f.write("\n")
+print(f"bench.sh: appended entry for {entry['commit']} to {out} "
+      f"({len(trajectory)} entries)")
+PY
+fi

@@ -6,10 +6,12 @@
 #   scripts/check.sh --all      # both of the above
 #
 # The default preset run is the ROADMAP tier-1 gate: every ctest entry
-# (labels unit, property, chaos, retry) must pass. The sanitizer pass
-# re-runs only the fault-heavy suites (-L chaos and -L retry), which are
-# the ones most likely to surface lifetime bugs in the retry engine's
-# timer plumbing.
+# (labels unit, property, chaos, retry) must pass, and the determinism
+# smoke re-runs fig06_seq_rate twice and byte-diffs the output — the
+# engine's event order must be a pure function of the inputs. The
+# sanitizer pass re-runs the fault-heavy suites (-L chaos and -L retry)
+# plus the property suites and the engine/sync tests, which exercise the
+# event-slab allocator's recycling paths hardest.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,14 +30,29 @@ if [[ "$run_default" == 1 ]]; then
   cmake --preset default
   cmake --build --preset default -j "$(nproc)"
   ctest --preset default -j "$(nproc)"
+
+  echo "== determinism smoke: fig06_seq_rate twice, byte-identical =="
+  tmpdir="$(mktemp -d)"
+  trap 'rm -rf "$tmpdir"' EXIT
+  ./build/bench/fig06_seq_rate > "$tmpdir/fig06_a.txt"
+  ./build/bench/fig06_seq_rate > "$tmpdir/fig06_b.txt"
+  if ! cmp -s "$tmpdir/fig06_a.txt" "$tmpdir/fig06_b.txt"; then
+    echo "determinism smoke FAILED: fig06_seq_rate output differs between runs" >&2
+    diff "$tmpdir/fig06_a.txt" "$tmpdir/fig06_b.txt" >&2 || true
+    exit 1
+  fi
+  echo "determinism smoke: OK"
 fi
 
 if [[ "$run_asan" == 1 ]]; then
-  echo "== chaos + retry under ASan/UBSan =="
+  echo "== chaos + retry + property + engine under ASan/UBSan =="
   cmake --preset asan-ubsan
   cmake --build --preset asan-ubsan -j "$(nproc)"
-  ctest --preset asan-ubsan -L chaos -j "$(nproc)"
-  ctest --preset asan-ubsan -L retry -j "$(nproc)"
+  ctest --preset asan-ubsan --no-tests=error -L chaos -j "$(nproc)"
+  ctest --preset asan-ubsan --no-tests=error -L retry -j "$(nproc)"
+  ctest --preset asan-ubsan --no-tests=error -L property -j "$(nproc)"
+  ctest --preset asan-ubsan --no-tests=error -j "$(nproc)" \
+    -R '^(Engine|Channel|Semaphore|Gate|Time|Rng)\.'
 fi
 
 echo "check.sh: OK"

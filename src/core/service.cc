@@ -13,6 +13,7 @@ Service::Service(os::Machine& machine, const os::AppRegistry& apps,
       retry_rng_(sim::Rng(config.retry.jitter_seed).fork("retry")) {
   kick_ch_ = std::make_unique<sim::Channel<int>>(machine.engine());
   all_done_ = std::make_unique<sim::Gate>(machine.engine());
+  ready_.set_indexed(config_.network_aware_grouping);
 }
 
 Service::Service(os::Machine& machine, const os::AppRegistry& apps,
@@ -40,7 +41,7 @@ JobId Service::submit(JobSpec spec) {
   job.rec.spec = std::move(spec);
   job.rec.submitted_at = machine_->engine().now();
   auto [it, _] = jobs_.emplace(id, std::move(job));
-  queue_.push_back(id);
+  queue_.push_back(id, it->second.rec.spec.priority);
   all_done_->close();
   // The job's timeout is a deadline measured from submission: it covers
   // queue time too, so a job that can never be placed (e.g. wider than the
@@ -64,7 +65,7 @@ void Service::deadline_expired(JobId id) {
   if (job.rec.status == JobStatus::kPending) {
     // Covers queued jobs *and* jobs waiting out a retry backoff (whose
     // pending requeue settle_job cancels).
-    std::erase(queue_, id);
+    queue_.erase(id, job.rec.spec.priority);
     ++failures_by_reason_[static_cast<std::size_t>(FailureReason::kJobDeadline)];
     settle_job(job, JobStatus::kFailed, FailureReason::kJobDeadline);
     kick();
@@ -206,7 +207,7 @@ sim::Task<void> Service::worker_handler(net::SocketPtr sock) {
         peak_capacity_ = std::max(peak_capacity_, connected_);
         ++reenlisted_;
       }
-      ready_.push_back(wid);
+      ready_.push_back(wid, w.node);
       kick();
     } else if (m->tag == kMsgStaged) {
       auto it = staging_.find(m->args.at(0));
@@ -239,7 +240,7 @@ sim::Task<void> Service::worker_handler(net::SocketPtr sock) {
     if (it->second.connected) {
       it->second.connected = false;
       --connected_;
-      std::erase(ready_, wid);
+      ready_.erase(wid, it->second.node);
       if (it->second.busy && it->second.job != 0) {
         // Its task cannot finish; fail the attempt so the job can retry on
         // other workers ("minimizing their impact", §5 feature 3).
@@ -267,59 +268,34 @@ std::optional<JobId> Service::choose_job() {
     const auto needed =
         static_cast<std::size_t>(jobs_.at(head).rec.spec.workers_needed());
     if (ready_.size() < needed) return std::nullopt;  // head-of-line blocks
-    queue_.pop_front();
+    queue_.pop_front(jobs_.at(head).rec.spec.priority);
     return head;
   }
-  // Priority + backfill: scan in (priority desc, FIFO) order; take the
-  // first job whose worker demand fits the currently ready pool.
-  std::vector<std::size_t> order(queue_.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::stable_sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
-    return jobs_.at(queue_[a]).rec.spec.priority >
-           jobs_.at(queue_[b]).rec.spec.priority;
+  // Priority + backfill: the first job in (priority desc, FIFO) order whose
+  // worker demand fits the currently ready pool. The queue's bucket index
+  // yields that order directly — no per-kick sort of the backlog.
+  return queue_.pop_first_fit([this](JobId id) {
+    return ready_.size() >=
+           static_cast<std::size_t>(jobs_.at(id).rec.spec.workers_needed());
   });
-  for (std::size_t idx : order) {
-    const JobId id = queue_[idx];
-    const auto needed =
-        static_cast<std::size_t>(jobs_.at(id).rec.spec.workers_needed());
-    if (ready_.size() >= needed) {
-      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
-      return id;
-    }
-  }
-  return std::nullopt;
 }
 
 std::vector<Service::WorkerId> Service::claim_workers(std::size_t count) {
   std::vector<WorkerId> claimed;
-  claimed.reserve(count);
   if (!config_.network_aware_grouping || count <= 1) {
     // Paper default: first come, first served (§6.1.4).
+    claimed.reserve(count);
     while (claimed.size() < count && !ready_.empty()) {
-      claimed.push_back(ready_.front());
-      ready_.pop_front();
+      const WorkerId wid = ready_.front();
+      ready_.erase_front(workers_.at(wid).node);
+      claimed.push_back(wid);
     }
   } else {
     // §7 extension: pick the window of ready workers with the smallest
     // node-id span (node ids are laid out along the torus, so a small span
-    // means fewer hops between the job's processes).
-    std::vector<WorkerId> pool(ready_.begin(), ready_.end());
-    std::sort(pool.begin(), pool.end(), [this](WorkerId a, WorkerId b) {
-      return workers_.at(a).node < workers_.at(b).node;
-    });
-    std::size_t best = 0;
-    os::NodeId best_span = std::numeric_limits<os::NodeId>::max();
-    for (std::size_t i = 0; i + count <= pool.size(); ++i) {
-      const os::NodeId span = workers_.at(pool[i + count - 1]).node -
-                              workers_.at(pool[i]).node;
-      if (span < best_span) {
-        best_span = span;
-        best = i;
-      }
-    }
-    claimed.assign(pool.begin() + static_cast<std::ptrdiff_t>(best),
-                   pool.begin() + static_cast<std::ptrdiff_t>(best + count));
-    for (WorkerId wid : claimed) std::erase(ready_, wid);
+    // means fewer hops between the job's processes). The pool keeps its
+    // node-sorted mirror up to date, so this is a single window scan.
+    claimed = ready_.claim_min_span(count);
   }
   for (WorkerId wid : claimed) workers_.at(wid).busy = true;
   return claimed;
@@ -575,7 +551,7 @@ void Service::requeue_job(JobId id) {
     check_all_done();
     return;
   }
-  queue_.push_back(id);
+  queue_.push_back(id, job.rec.spec.priority);
   kick();
 }
 
@@ -638,7 +614,7 @@ void Service::reap_unsatisfiable() {
   if (!config_.fail_unsatisfiable) return;
   const std::size_t cap = potential_capacity();
   std::vector<JobId> doomed;
-  for (JobId id : queue_) {
+  for (JobId id : queue_.fifo()) {
     const Job& job = jobs_.at(id);
     const auto needed = static_cast<std::size_t>(job.rec.spec.workers_needed());
     // Only jobs the machine *once* had room for: a job wider than the
@@ -647,8 +623,8 @@ void Service::reap_unsatisfiable() {
     if (needed > cap && needed <= peak_capacity_) doomed.push_back(id);
   }
   for (JobId id : doomed) {
-    std::erase(queue_, id);
     Job& job = jobs_.at(id);
+    queue_.erase(id, job.rec.spec.priority);
     ++failures_by_reason_[static_cast<std::size_t>(FailureReason::kServiceAbort)];
     settle_job(job, JobStatus::kFailed, FailureReason::kServiceAbort);
   }
@@ -698,7 +674,7 @@ void Service::evict_worker(WorkerId wid) {
             : -1;  // permanent
   }
   w.liveness_timer.cancel();
-  std::erase(ready_, wid);
+  ready_.erase(wid, w.node);
   if (w.busy && w.job != 0) {
     // The in-flight attempt cannot be trusted to finish; fail it so the
     // job retries on live workers ("minimizing their impact", §5).
@@ -745,7 +721,7 @@ void Service::reoffer_worker(WorkerId wid) {
   ++connected_;
   peak_capacity_ = std::max(peak_capacity_, connected_);
   ++reenlisted_;
-  ready_.push_back(wid);
+  ready_.push_back(wid, w.node);
   kick();
 }
 
@@ -760,7 +736,7 @@ void Service::release_undispatched(const std::vector<WorkerId>& claimed,
     w.busy = false;
     w.task_id.clear();
     w.liveness_timer.cancel();
-    ready_.push_back(claimed[k]);
+    ready_.push_back(claimed[k], w.node);
     released = true;
   }
   if (released) kick();
@@ -768,12 +744,24 @@ void Service::release_undispatched(const std::vector<WorkerId>& claimed,
 
 bool Service::ready_pool_consistent() const {
   std::set<WorkerId> seen;
-  for (WorkerId wid : ready_) {
+  for (WorkerId wid : ready_.fifo()) {
     if (!seen.insert(wid).second) return false;  // duplicate entry
     auto it = workers_.find(wid);
     if (it == workers_.end()) return false;
     const Worker& w = it->second;
     if (!w.connected || w.busy || w.evicted) return false;
+  }
+  if (config_.network_aware_grouping) {
+    // The node-sorted mirror must agree with the FIFO view exactly: same
+    // workers, correct node keys, strictly increasing (node, arrival).
+    const auto& index = ready_.index();
+    if (index.size() != ready_.fifo().size()) return false;
+    for (std::size_t i = 0; i < index.size(); ++i) {
+      if (i > 0 && !(index[i - 1] < index[i])) return false;
+      auto it = workers_.find(index[i].wid);
+      if (it == workers_.end() || it->second.node != index[i].node) return false;
+      if (!seen.contains(index[i].wid)) return false;
+    }
   }
   return true;
 }

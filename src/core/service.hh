@@ -46,9 +46,11 @@
 // priority+backfill scheduling and network-aware worker grouping.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <functional>
 #include <map>
 #include <memory>
@@ -197,6 +199,132 @@ class Service {
  private:
   using WorkerId = std::uint64_t;
 
+  /// Pending-job backlog: FIFO deque plus a priority-bucket index kept in
+  /// step on submit/requeue/erase, so the kPriorityBackfill pick scans in
+  /// (priority desc, FIFO) order without re-sorting the whole backlog on
+  /// every dispatch kick.
+  class PendingQueue {
+   public:
+    void push_back(JobId id, int priority) {
+      fifo_.push_back(id);
+      buckets_[priority].push_back(id);
+    }
+    void erase(JobId id, int priority) {
+      std::erase(fifo_, id);
+      auto it = buckets_.find(priority);
+      if (it == buckets_.end()) return;
+      std::erase(it->second, id);
+      if (it->second.empty()) buckets_.erase(it);
+    }
+    JobId front() const { return fifo_.front(); }
+    void pop_front(int priority) { erase(fifo_.front(), priority); }
+    bool empty() const { return fifo_.empty(); }
+    std::size_t size() const { return fifo_.size(); }
+    /// Submission order, for paths that must visit jobs FIFO (reaping).
+    const std::deque<JobId>& fifo() const { return fifo_; }
+
+    /// First job in (priority desc, FIFO-within-priority) order accepted by
+    /// `fits`; removed from the queue when found.
+    template <typename Fits>
+    std::optional<JobId> pop_first_fit(Fits&& fits) {
+      for (auto& [priority, bucket] : buckets_) {
+        for (JobId id : bucket) {
+          if (fits(id)) {
+            erase(id, priority);
+            return id;
+          }
+        }
+      }
+      return std::nullopt;
+    }
+
+   private:
+    std::deque<JobId> fifo_;
+    std::map<int, std::deque<JobId>, std::greater<int>> buckets_;
+  };
+
+  /// Ready-worker pool. FCFS claims pop the FIFO deque; when network-aware
+  /// grouping is on, a mirror of the pool sorted by (node, arrival) is
+  /// maintained incrementally so each MPI placement is one sliding-window
+  /// span scan instead of a copy + full sort of the pool.
+  class ReadyPool {
+   public:
+    struct Entry {
+      os::NodeId node = 0;
+      std::uint64_t arrival = 0;
+      WorkerId wid = 0;
+      auto operator<=>(const Entry&) const = default;
+    };
+
+    /// Must be set before any worker enters the pool.
+    void set_indexed(bool on) { indexed_ = on; }
+
+    void push_back(WorkerId wid, os::NodeId node) {
+      fifo_.push_back(wid);
+      if (indexed_) {
+        const Entry e{node, arrivals_++, wid};
+        by_node_.insert(std::upper_bound(by_node_.begin(), by_node_.end(), e),
+                        e);
+      }
+    }
+    void erase(WorkerId wid, os::NodeId node) {
+      std::erase(fifo_, wid);
+      if (indexed_) index_erase(wid, node);
+    }
+    WorkerId front() const { return fifo_.front(); }
+    void erase_front(os::NodeId node) {
+      const WorkerId wid = fifo_.front();
+      fifo_.pop_front();
+      if (indexed_) index_erase(wid, node);
+    }
+    bool empty() const { return fifo_.empty(); }
+    std::size_t size() const { return fifo_.size(); }
+    const std::deque<WorkerId>& fifo() const { return fifo_; }
+    const std::vector<Entry>& index() const { return by_node_; }
+
+    /// Claims the `count` workers whose sorted window has the smallest
+    /// node-id span (ties keep the earliest window); removes them from the
+    /// pool and returns them in (node, arrival) order. Requires
+    /// count <= size() and the index to be enabled.
+    std::vector<WorkerId> claim_min_span(std::size_t count) {
+      std::size_t best = 0;
+      os::NodeId best_span = std::numeric_limits<os::NodeId>::max();
+      for (std::size_t i = 0; i + count <= by_node_.size(); ++i) {
+        const os::NodeId span = by_node_[i + count - 1].node - by_node_[i].node;
+        if (span < best_span) {
+          best_span = span;
+          best = i;
+        }
+      }
+      std::vector<WorkerId> claimed;
+      claimed.reserve(count);
+      for (std::size_t k = best; k < best + count; ++k) {
+        claimed.push_back(by_node_[k].wid);
+      }
+      by_node_.erase(by_node_.begin() + static_cast<std::ptrdiff_t>(best),
+                     by_node_.begin() + static_cast<std::ptrdiff_t>(best + count));
+      for (WorkerId wid : claimed) std::erase(fifo_, wid);
+      return claimed;
+    }
+
+   private:
+    void index_erase(WorkerId wid, os::NodeId node) {
+      auto it = std::lower_bound(by_node_.begin(), by_node_.end(),
+                                 Entry{node, 0, 0});
+      for (; it != by_node_.end() && it->node == node; ++it) {
+        if (it->wid == wid) {
+          by_node_.erase(it);
+          return;
+        }
+      }
+    }
+
+    bool indexed_ = false;
+    std::uint64_t arrivals_ = 0;
+    std::deque<WorkerId> fifo_;
+    std::vector<Entry> by_node_;  // sorted by (node, arrival)
+  };
+
   struct Worker {
     WorkerId id = 0;
     os::NodeId node = 0;
@@ -313,8 +441,8 @@ class Service {
   std::map<JobId, Job> jobs_;
   std::map<WorkerId, Worker> workers_;
   std::map<std::string, JobId> task_to_job_;  // outstanding sequential tasks
-  std::deque<JobId> queue_;
-  std::deque<WorkerId> ready_;  // may contain stale (disconnected) entries
+  PendingQueue queue_;
+  ReadyPool ready_;
   /// In-flight stage-ins: path -> (remaining acks, completion gate).
   struct StageOp {
     std::size_t remaining = 0;

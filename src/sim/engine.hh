@@ -3,20 +3,36 @@
 // The engine owns a priority queue of timestamped events. Two event kinds
 // exist: coroutine resumptions (the workhorse — every `co_await delay(...)`,
 // channel receive, or socket operation schedules one) and plain callbacks
-// (used by timers, fault injectors, and periodic samplers). Events carry a
-// weak cancellation token; killing an actor expires its token so stale
-// resumptions are skipped rather than resuming a destroyed frame.
+// (used by timers, fault injectors, and periodic samplers).
+//
+// Hot-path layout: event payloads live in a slab (free-list recycled), and
+// the priority queue holds only compact {time, seq, slot, gen} index
+// entries, so heap sifts move 24-byte PODs instead of fat closures.
+// Cancellation is generation-based on both axes:
+//
+//   * a TimerHandle remembers its event slot's generation; cancel() frees
+//     the slot (releasing the closure's captures *immediately*) and bumps
+//     the generation, so the stale heap entry is skipped when it surfaces;
+//   * a Resumption remembers its actor slot's generation; killing the actor
+//     bumps it, so stale resumptions are skipped without any weak_ptr lock.
+//
+// A storm of cancelled timers cannot bloat the heap: once known-dead index
+// entries outnumber live ones the heap is compacted in place (lazy deletion
+// with periodic sweeps). Compaction only removes entries that would have
+// been skipped anyway, so the (time, seq) execution order — and therefore
+// bit-reproducibility — is unchanged.
 //
 // Single-threaded by design: simulated concurrency comes from interleaving
 // coroutines in simulated time, and equal-time events run in FIFO insertion
 // order, so every run is bit-reproducible.
 #pragma once
 
+#include <cassert>
 #include <coroutine>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -38,32 +54,45 @@ class EngineObserver {
   virtual void on_kill(Time at, ActorId id, const std::string& name) = 0;
 };
 
-/// Handle to a scheduled callback; cancel() prevents a pending fire.
+class Engine;
+
+/// Handle to a scheduled callback; cancel() prevents a pending fire and
+/// releases the callback's captures immediately. Copyable; all copies refer
+/// to the same slot+generation, so cancelling any of them works and double
+/// cancels are no-ops. The engine must outlive any cancel() call.
 class TimerHandle {
  public:
   TimerHandle() = default;
-  explicit TimerHandle(std::shared_ptr<bool> cancelled)
-      : cancelled_(std::move(cancelled)) {}
-  void cancel() {
-    if (cancelled_) *cancelled_ = true;
-  }
-  bool valid() const noexcept { return cancelled_ != nullptr; }
+  TimerHandle(Engine* engine, std::uint32_t slot, std::uint32_t gen)
+      : engine_(engine), slot_(slot), gen_(gen) {}
+  inline void cancel();
+  bool valid() const noexcept { return engine_ != nullptr; }
 
  private:
-  std::shared_ptr<bool> cancelled_;
+  Engine* engine_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 /// A suspended coroutine waiting to be resumed, together with the actor it
-/// belongs to. `ctx` is only dereferenced after `token.lock()` succeeds, so
-/// it can never dangle: the token expires before the context is destroyed.
+/// belongs to. `ctx` is only dereferenced after the slot-generation check
+/// passes (expired() is false), so it can never dangle: the generation is
+/// bumped before the context is destroyed.
 struct Resumption {
   std::coroutine_handle<> handle;
   ActorContext* ctx = nullptr;
-  std::weak_ptr<void> token;
+  Engine* engine = nullptr;
+  std::uint32_t actor_slot = 0;
+  std::uint32_t actor_gen = 0;
 
   static Resumption of(std::coroutine_handle<> h, ActorContext* ctx) {
-    return Resumption{h, ctx, std::weak_ptr<void>(ctx->alive)};
+    return Resumption{h, ctx, ctx->engine, ctx->slot, ctx->gen};
   }
+
+  /// True once the owning actor finished or was killed (epoch check
+  /// against the actor slot's generation). Default-constructed
+  /// resumptions are expired.
+  inline bool expired() const;
 };
 
 class Engine {
@@ -88,8 +117,8 @@ class Engine {
   /// Returns false if the actor is unknown or already finished.
   bool kill(ActorId id);
 
-  bool is_live(ActorId id) const { return actors_.contains(id); }
-  std::size_t live_actor_count() const { return actors_.size(); }
+  bool is_live(ActorId id) const { return id_to_slot_.contains(id); }
+  std::size_t live_actor_count() const { return id_to_slot_.size(); }
   const std::string* actor_name(ActorId id) const;
 
   /// The actor currently being resumed (0 outside a resume step). Lets
@@ -144,45 +173,131 @@ class Engine {
   /// must outlive its registration; shutdown() does not notify.
   void set_observer(EngineObserver* observer) { observer_ = observer; }
 
+  // --- Observability of the event core ----------------------------------
+
+  /// Event slots currently allocated: scheduled-and-not-yet-fired events.
+  /// Cancelled timers leave immediately; resumptions of a dead actor are
+  /// counted until they surface at the heap top or a compaction sweeps
+  /// them.
+  std::size_t pending_events() const noexcept { return live_slots_; }
+  /// Timers cancelled before firing (their closures were released eagerly).
+  std::uint64_t cancelled_events() const noexcept { return cancelled_events_; }
+  /// Lazy-deletion sweeps performed on the index heap.
+  std::uint64_t compactions() const noexcept { return compactions_; }
+  /// Raw index-heap entries, including not-yet-swept dead ones.
+  std::size_t heap_size() const noexcept { return heap_.size(); }
+  /// Most event slots ever allocated at once (slab high-water mark).
+  std::size_t slab_high_water() const noexcept { return slots_.size(); }
+
+  // --- Internal hooks for TimerHandle / Resumption (treat as private) ----
+
+  /// Cancels a callback event if (slot, gen) still names it: releases the
+  /// closure now and marks the heap entry dead for lazy removal.
+  void cancel_event(std::uint32_t slot, std::uint32_t gen);
+  /// Epoch check: does (slot, gen) still name a live actor?
+  bool actor_slot_live(std::uint32_t slot, std::uint32_t gen) const {
+    return slot < actor_slots_.size() && actor_slots_[slot].gen == gen;
+  }
+
  private:
   friend void engine_actor_finished(Engine&, std::uint64_t, std::exception_ptr);
 
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  /// Compact once at least this many known-dead entries have accumulated
+  /// *and* they are at least half the heap.
+  static constexpr std::size_t kCompactMin = 64;
+
   struct Actor {
+    ActorId id = 0;
     std::string name;
     Task<void>::Handle root;
     std::unique_ptr<ActorContext> ctx;
-    std::shared_ptr<bool> alive;
     std::vector<Resumption> joiners;
   };
 
-  struct Event {
-    Time t = 0;
-    std::uint64_t seq = 0;
-    // Exactly one of {resume.handle, fn} is set.
-    Resumption resume;
-    std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;  // for fn events only
+  /// Slab cell for actors. `gen` is bumped when the occupant is destroyed,
+  /// which atomically expires every Resumption created for it.
+  struct ActorSlot {
+    std::uint32_t gen = 0;
+    std::uint32_t next_free = kNoSlot;
+    std::optional<Actor> actor;
   };
 
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.t != b.t) return a.t > b.t;  // min-heap on time
-      return a.seq > b.seq;              // FIFO among equal times
+  /// Slab cell for events. Exactly one payload is meaningful per kind.
+  /// `gen` is bumped when the slot is freed (fire, cancel, or sweep), which
+  /// expires the heap index entry and any TimerHandle pointing here.
+  struct EventSlot {
+    enum Kind : std::uint8_t { kFree, kResume, kCallback };
+    std::uint32_t gen = 0;
+    Kind kind = kFree;
+    std::uint32_t next_free = kNoSlot;
+    // kResume payload:
+    std::coroutine_handle<> handle{};
+    ActorContext* ctx = nullptr;
+    std::uint32_t actor_slot = 0;
+    std::uint32_t actor_gen = 0;
+    // kCallback payload:
+    std::function<void()> fn;
+  };
+
+  /// What the priority queue actually sifts: 24 bytes, trivially copyable.
+  struct HeapEntry {
+    Time t = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t slot = 0;
+    std::uint32_t gen = 0;
+  };
+
+  /// Max-heap comparator inverted into a min-heap on (time, seq): FIFO
+  /// among equal times — the same total order as the seed implementation.
+  struct HeapLater {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
     }
   };
 
-  void dispatch(Event& ev);
+  std::uint32_t alloc_event_slot();
+  void free_event_slot(std::uint32_t slot);
+  void push_entry(Time t, std::uint32_t slot);
+  void pop_top();
+  /// Removes every known-dead index entry (cancelled timers, resumptions of
+  /// dead actors) and re-heapifies. Order-preserving: only entries the run
+  /// loop would skip are removed.
+  void compact_heap();
+  void maybe_compact() {
+    if (dead_entries_ >= kCompactMin && dead_entries_ * 2 >= heap_.size()) {
+      compact_heap();
+    }
+  }
+
+  std::uint32_t alloc_actor_slot();
+  void dispatch(std::uint32_t slot);
   void reap_finished_and_killed();
-  void destroy_actor(std::unordered_map<ActorId, Actor>::iterator it,
-                     std::exception_ptr error);
+  void destroy_actor_slot(std::uint32_t slot, std::exception_ptr error);
 
   Time now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t events_executed_ = 0;
   ActorId next_actor_id_ = 1;
   ActorId running_actor_ = 0;  // 0 = none
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
-  std::unordered_map<ActorId, Actor> actors_;
+
+  // Event core: index heap over the slab.
+  std::vector<HeapEntry> heap_;
+  std::vector<EventSlot> slots_;
+  std::uint32_t free_events_ = kNoSlot;
+  std::size_t live_slots_ = 0;
+  /// Known-dead entries still in heap_ (from cancel_event); resumptions of
+  /// dead actors are discovered lazily and not counted here.
+  std::size_t dead_entries_ = 0;
+  std::uint64_t cancelled_events_ = 0;
+  std::uint64_t compactions_ = 0;
+
+  // Actor slab + public-id index (ids are never reused).
+  std::vector<ActorSlot> actor_slots_;
+  std::uint32_t free_actors_ = kNoSlot;
+  std::unordered_map<ActorId, std::uint32_t> id_to_slot_;
+
   // Actors whose root completed during the current dispatch, plus the error
   // (if any) their body ended with; reaped after the dispatch unwinds.
   std::vector<std::pair<ActorId, std::exception_ptr>> finished_;
@@ -191,6 +306,14 @@ class Engine {
   EngineObserver* observer_ = nullptr;
   bool in_shutdown_ = false;
 };
+
+inline void TimerHandle::cancel() {
+  if (engine_) engine_->cancel_event(slot_, gen_);
+}
+
+inline bool Resumption::expired() const {
+  return engine == nullptr || !engine->actor_slot_live(actor_slot, actor_gen);
+}
 
 struct JoinAwaiter {
   Engine* engine;

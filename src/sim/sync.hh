@@ -81,7 +81,7 @@ class Channel {
     while (!waiters_.empty()) {
       WaitNode node = std::move(waiters_.front());
       waiters_.pop_front();
-      if (node.state->settled || node.resume.token.expired()) continue;
+      if (node.state->settled || node.resume.expired()) continue;
       node.state->settled = true;
       node.state->value = std::move(value);
       engine_->schedule(engine_->now(), std::move(node.resume));
@@ -156,8 +156,8 @@ class Channel {
             [state = state, r]() mutable {
               if (state->settled) return;
               state->settled = true;  // value stays nullopt -> "timeout"
-              if (auto alive = r.token.lock()) {
-                r.ctx->engine->schedule(r.ctx->engine->now(), std::move(r));
+              if (!r.expired()) {
+                r.engine->schedule(r.engine->now(), std::move(r));
               }
             });
       }
@@ -199,7 +199,7 @@ class Semaphore {
     while (!waiters_.empty()) {
       WaitNode node = std::move(waiters_.front());
       waiters_.pop_front();
-      if (node.state->settled || node.resume.token.expired()) continue;
+      if (node.state->settled || node.resume.expired()) continue;
       node.state->settled = true;
       node.state->granted = true;
       engine_->schedule(engine_->now(), std::move(node.resume));

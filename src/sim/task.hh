@@ -28,13 +28,16 @@ void engine_actor_finished(Engine& engine, std::uint64_t actor_id,
 
 /// Per-actor bookkeeping shared by every coroutine frame the actor runs.
 ///
-/// `alive` doubles as the cancellation token: events queued in the engine
-/// hold a `std::weak_ptr` to it and are skipped once the actor is killed.
+/// `slot`/`gen` identify the actor's slab slot in the engine: events queued
+/// for this actor carry a copy of both and are skipped once the slot's
+/// generation moves on (the actor was killed or finished). This replaces a
+/// per-resumption `weak_ptr` cancellation token with a plain epoch compare.
 struct ActorContext {
   Engine* engine = nullptr;
   std::uint64_t id = 0;
   std::string name;
-  std::shared_ptr<bool> alive;
+  std::uint32_t slot = 0;
+  std::uint32_t gen = 0;
 };
 
 /// Base class for all Task promises; carries the actor context and the

@@ -2,7 +2,11 @@
 // fault tolerance — the paper's §5 feature list exercised end to end.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
 #include <memory>
+#include <numeric>
+#include <set>
 #include <vector>
 
 #include "apps/synthetic.hh"
@@ -274,6 +278,96 @@ TEST(Standalone, NetworkAwareGroupingPicksContiguousNodes) {
   jets.start(JetsBed::nodes(16));
   BatchReport r = bed.run(jets, {mpi_job(4, {"mpi_sleep", "0.5"})});
   EXPECT_EQ(r.completed, 1u);
+}
+
+TEST(Standalone, NetworkAwareClaimMatchesReferenceWindow) {
+  // Equivalence with the pre-index implementation of claim_workers: the
+  // worker set claimed for an MPI job must be the *first* minimum-node-span
+  // window of the node-sorted ready pool. The reference window is computed
+  // here, independently, from the actual ready set at placement time.
+  JetsBed bed(os::Machine::breadboard(16));
+  StandaloneOptions opts = bed.fast_options();
+  opts.service.network_aware_grouping = true;
+  StandaloneJets jets(bed.machine, bed.apps, opts);
+  jets.start(JetsBed::nodes(16));
+  std::vector<net::NodeId> mpi_nodes;
+  std::vector<net::NodeId> expected;
+  bed.engine.spawn("driver", [](StandaloneJets& jets,
+                                std::vector<net::NodeId>& mpi_nodes,
+                                std::vector<net::NodeId>& expected)
+                                 -> sim::Task<void> {
+    co_await jets.wait_workers();
+    Service& svc = jets.service();
+    // Pin down an irregular ready set by parking long jobs on 10 workers.
+    std::vector<JobId> blockers;
+    for (int i = 0; i < 10; ++i) {
+      blockers.push_back(svc.submit(seq_job({"sleep", "100"})));
+    }
+    co_await sim::delay(sim::seconds(2));  // all blockers are placed by now
+    std::set<net::NodeId> blocked;
+    for (JobId id : blockers) {
+      for (net::NodeId n : svc.record(id).nodes) blocked.insert(n);
+    }
+    std::vector<net::NodeId> ready;
+    for (net::NodeId n = 0; n < 16; ++n) {
+      if (!blocked.contains(n)) ready.push_back(n);
+    }
+    EXPECT_EQ(ready.size(), 6u);
+    // Reference: node-sorted pool (one worker per node, already sorted),
+    // slide a width-4 window, `<` keeps the earliest minimal span.
+    std::size_t best = 0;
+    auto best_span = std::numeric_limits<net::NodeId>::max();
+    for (std::size_t i = 0; i + 4 <= ready.size(); ++i) {
+      const net::NodeId span = ready[i + 3] - ready[i];
+      if (span < best_span) {
+        best_span = span;
+        best = i;
+      }
+    }
+    expected.assign(ready.begin() + static_cast<std::ptrdiff_t>(best),
+                    ready.begin() + static_cast<std::ptrdiff_t>(best + 4));
+    const JobId mpi = svc.submit(mpi_job(4, {"mpi_sleep", "0.5"}));
+    co_await svc.wait_job(mpi);
+    mpi_nodes = svc.record(mpi).nodes;
+  }(jets, mpi_nodes, expected));
+  bed.engine.run();
+  EXPECT_EQ(expected.size(), 4u);
+  EXPECT_EQ(mpi_nodes, expected);
+  EXPECT_TRUE(jets.service().ready_pool_consistent());
+}
+
+TEST(Standalone, PriorityBackfillPicksPriorityThenFifoOrder) {
+  // Equivalence with the pre-index choose_job: the bucket-indexed queue
+  // must pick exactly like the old per-kick stable sort — priority
+  // descending, submission order within a priority.
+  JetsBed bed(os::Machine::breadboard(1));
+  StandaloneOptions opts = bed.fast_options();
+  opts.service.policy = SchedPolicy::kPriorityBackfill;
+  StandaloneJets jets(bed.machine, bed.apps, opts);
+  jets.start(JetsBed::nodes(1));
+  const std::vector<int> prios = {1, 3, 0, 3, 2, 1, 0, 2};
+  std::vector<JobSpec> jobs;
+  for (int p : prios) {
+    JobSpec s = seq_job({"sleep", "0.2"});
+    s.priority = p;
+    jobs.push_back(std::move(s));
+  }
+  BatchReport r = bed.run(jets, jobs);
+  EXPECT_EQ(r.completed, 8u);
+  // Observed start order on the single worker.
+  std::vector<std::size_t> by_start(r.records.size());
+  std::iota(by_start.begin(), by_start.end(), 0u);
+  std::sort(by_start.begin(), by_start.end(), [&](std::size_t a, std::size_t b) {
+    return r.records[a].started_at < r.records[b].started_at;
+  });
+  // Reference order: the seed implementation's stable sort.
+  std::vector<std::size_t> reference(r.records.size());
+  std::iota(reference.begin(), reference.end(), 0u);
+  std::stable_sort(reference.begin(), reference.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return prios[a] > prios[b];
+                   });
+  EXPECT_EQ(by_start, reference);
 }
 
 TEST(Standalone, DeadlineMidPlacementFailsJobAndFreesWorker) {

@@ -1,6 +1,7 @@
 // Unit tests for the discrete-event engine and coroutine task machinery.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 #include <vector>
@@ -208,6 +209,75 @@ TEST(Engine, CancelledTimerDoesNotFire) {
   h.cancel();
   e.run();
   EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelReleasesClosureEagerly) {
+  // A cancelled timer must not keep its captures alive until the dead
+  // event would have surfaced at the top of the heap: liveness/retry
+  // timers are cancelled by the thousands with far-future deadlines.
+  Engine e;
+  auto sentinel = std::make_shared<int>(42);
+  TimerHandle h = e.call_at(seconds(1000), [keep = sentinel] { (void)keep; });
+  EXPECT_EQ(sentinel.use_count(), 2);
+  h.cancel();
+  EXPECT_EQ(sentinel.use_count(), 1);  // released on cancel, not at pop
+  e.run();
+  EXPECT_EQ(e.events_executed(), 0u);
+}
+
+TEST(Engine, CancelIsIdempotentAndSafeAfterFire) {
+  Engine e;
+  int fired = 0;
+  TimerHandle h = e.call_at(seconds(1), [&] { ++fired; });
+  TimerHandle copy = h;
+  e.run();
+  EXPECT_EQ(fired, 1);
+  h.cancel();  // after fire: generation mismatch, no-op
+  copy.cancel();
+  h.cancel();  // double cancel
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.cancelled_events(), 0u);
+}
+
+TEST(Engine, MassCancellationKeepsHeapBounded) {
+  // A storm of armed-then-cancelled timers (the liveness/retry pattern)
+  // must neither hold live event slots nor let dead index entries pile up
+  // beyond the compaction threshold's working band.
+  Engine e;
+  std::size_t max_heap = 0;
+  e.spawn("churn", [](Engine& e, std::size_t& max_heap) -> Task<void> {
+    std::vector<TimerHandle> handles;
+    for (int round = 0; round < 200; ++round) {
+      for (int k = 0; k < 64; ++k) {
+        handles.push_back(e.call_in(seconds(1000), [] {}));
+      }
+      for (TimerHandle& h : handles) h.cancel();
+      handles.clear();
+      max_heap = std::max(max_heap, e.heap_size());
+      co_await delay(microseconds(1));
+    }
+  }(e, max_heap));
+  e.run();
+  // 12,800 cancellations went through; lazy deletion must have compacted.
+  EXPECT_EQ(e.cancelled_events(), 12800u);
+  EXPECT_GT(e.compactions(), 0u);
+  EXPECT_LT(max_heap, 1000u);          // not O(total cancelled)
+  EXPECT_EQ(e.pending_events(), 0u);   // no slots leaked
+  EXPECT_LT(e.slab_high_water(), 200u);  // slots were recycled, not grown
+}
+
+TEST(Engine, PendingEventsTracksScheduledWork) {
+  Engine e;
+  EXPECT_EQ(e.pending_events(), 0u);
+  TimerHandle h = e.call_at(seconds(1), [] {});
+  e.call_at(seconds(2), [] {});
+  EXPECT_EQ(e.pending_events(), 2u);
+  h.cancel();
+  EXPECT_EQ(e.pending_events(), 1u);
+  EXPECT_EQ(e.cancelled_events(), 1u);
+  e.run();
+  EXPECT_EQ(e.pending_events(), 0u);
+  EXPECT_EQ(e.events_executed(), 1u);
 }
 
 TEST(Engine, RunUntilStopsClockAtLimit) {
