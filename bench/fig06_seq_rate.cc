@@ -14,8 +14,10 @@ using namespace jets;
 
 namespace {
 
-double jets_rate(std::size_t alloc_nodes, int tasks_per_slot) {
+double jets_rate(std::size_t alloc_nodes, int tasks_per_slot,
+                 bench::TraceSession& trace) {
   bench::Bed bed(os::Machine::surveyor(alloc_nodes));
+  trace.attach(bed);
   auto options = bench::surveyor_options(/*workers_per_node=*/4);
   options.worker.stage_files = {pmi::kProxyBinary, "noop"};
   core::StandaloneJets jets(bed.machine, bed.apps, options);
@@ -28,6 +30,7 @@ double jets_rate(std::size_t alloc_nodes, int tasks_per_slot) {
     co_await jets.wait_workers();
     report = co_await jets.run_batch(jobs);
   });
+  trace.finish();
   return static_cast<double>(report.completed) / report.makespan_seconds();
 }
 
@@ -63,10 +66,12 @@ int main() {
       "'ideal' = one node, 4 cores, no JETS");
   std::printf("# ideal_single_node_rate %.1f jobs/s\n", ideal_single_node_rate());
   std::printf("%-8s %-8s %s\n", "nodes", "cores", "jobs_per_s");
+  bench::TraceSession trace;
   for (std::size_t nodes : {32u, 64u, 128u, 256u, 512u, 1024u}) {
     const int tasks_per_slot = nodes >= 512 ? 10 : 20;
-    const double rate = jets_rate(nodes, tasks_per_slot);
+    const double rate = jets_rate(nodes, tasks_per_slot, trace);
     std::printf("%-8zu %-8zu %.0f\n", nodes, nodes * 4, rate);
   }
+  trace.report();
   return 0;
 }

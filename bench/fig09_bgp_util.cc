@@ -17,8 +17,10 @@ using namespace jets;
 
 namespace {
 
-double utilization(std::size_t alloc_nodes, int nproc) {
+double utilization(std::size_t alloc_nodes, int nproc,
+                   bench::TraceSession& trace) {
   bench::Bed bed(os::Machine::surveyor(alloc_nodes));
+  trace.attach(bed);
   auto options = bench::surveyor_options(/*workers_per_node=*/1);
   options.worker.stage_files = {pmi::kProxyBinary, "mpi_sleep"};
   core::StandaloneJets jets(bed.machine, bed.apps, options);
@@ -32,6 +34,7 @@ double utilization(std::size_t alloc_nodes, int nproc) {
     co_await jets.wait_workers();
     report = co_await jets.run_batch(jobs);
   });
+  trace.finish();
   // Eq. (1) with the configured 10 s duration.
   return 10.0 * static_cast<double>(report.completed) * nproc /
          (static_cast<double>(alloc_nodes) * report.makespan_seconds());
@@ -45,9 +48,15 @@ int main() {
       "4-proc degrades past 512 nodes; 8-proc holds; 64-proc pays a "
       "startup penalty that shrinks with allocation size");
   std::printf("%-8s %-10s %-10s %s\n", "nodes", "4proc", "8proc", "64proc");
+  bench::TraceSession trace;
   for (std::size_t nodes : {256u, 512u, 1024u}) {
-    std::printf("%-8zu %-10.3f %-10.3f %.3f\n", nodes, utilization(nodes, 4),
-                utilization(nodes, 8), utilization(nodes, 64));
+    // Evaluation order of the three calls must stay fixed (printf argument
+    // order is unspecified) so the trace accumulates deterministically.
+    const double u4 = utilization(nodes, 4, trace);
+    const double u8 = utilization(nodes, 8, trace);
+    const double u64 = utilization(nodes, 64, trace);
+    std::printf("%-8zu %-10.3f %-10.3f %.3f\n", nodes, u4, u8, u64);
   }
+  trace.report();
   return 0;
 }

@@ -23,6 +23,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,6 +32,9 @@
 #include "apps/synthetic.hh"
 #include "core/service.hh"
 #include "core/standalone.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/phase_table.hh"
+#include "obs/tracer.hh"
 #include "os/machine.hh"
 #include "os/program.hh"
 #include "pmi/hydra.hh"
@@ -92,6 +97,47 @@ struct Bed {
   void run(F&& body) {
     engine.spawn("bench-driver", std::forward<F>(body)());
     engine.run();
+  }
+};
+
+// --- Tracing -----------------------------------------------------------------
+
+/// Env-gated span tracing for figure benches. With JETS_TRACE unset this is
+/// inert — no tracer is attached and the bench's output is byte-identical
+/// to an untraced run. With JETS_TRACE set, attach() wires a fresh
+/// obs::Tracer into each data point's Bed; finish() folds its closed spans
+/// into one cross-point PhaseTable, which report() prints after the series
+/// as '# obs '-prefixed lines (so series parsers that skip comments are
+/// unaffected). JETS_TRACE_JSON=<path> additionally writes a Chrome
+/// trace-event file for the first traced data point.
+struct TraceSession {
+  bool enabled = std::getenv("JETS_TRACE") != nullptr;
+  const char* json_path = std::getenv("JETS_TRACE_JSON");
+  obs::PhaseTable table;
+  std::unique_ptr<obs::Tracer> tracer;
+  bool json_written = false;
+
+  /// Attaches a fresh tracer to the bed's machine (no-op when disabled).
+  void attach(Bed& bed) {
+    if (!enabled) return;
+    tracer = std::make_unique<obs::Tracer>(bed.engine);
+    bed.machine.set_tracer(tracer.get());
+  }
+
+  /// Absorbs the current tracer's spans and drops it. Call after the data
+  /// point's run completes, before the Bed is destroyed.
+  void finish() {
+    if (!tracer) return;
+    table.absorb(*tracer);
+    if (json_path != nullptr && !json_written) {
+      json_written = obs::write_chrome_trace(*tracer, json_path);
+    }
+    tracer.reset();
+  }
+
+  /// Prints the accumulated per-phase latency table ('# obs ' lines).
+  void report() const {
+    if (enabled) std::fputs(table.render().c_str(), stdout);
   }
 };
 

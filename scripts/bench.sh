@@ -41,9 +41,22 @@ wall_ns() {  # wall-clock of one figure bench, output discarded
   echo $((t1 - t0))
 }
 
+echo "== tracing byte-identity: fig06 with and without JETS_TRACE =="
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$micro_json" "$trace_dir"' EXIT
+"$BUILD/bench/fig06_seq_rate" > "$trace_dir/plain.txt"
+JETS_TRACE=1 "$BUILD/bench/fig06_seq_rate" > "$trace_dir/traced.txt"
+if ! cmp -s "$trace_dir/plain.txt" \
+            <(grep -v '^# obs' "$trace_dir/traced.txt"); then
+  echo "bench.sh: tracing perturbed fig06_seq_rate output" >&2
+  diff "$trace_dir/plain.txt" <(grep -v '^# obs' "$trace_dir/traced.txt") >&2 || true
+  exit 1
+fi
+echo "tracing byte-identity: OK"
+
 echo "== figure benches (wall clock) =="
 fig06_ns=$(wall_ns "$BUILD/bench/fig06_seq_rate")
-fig09_ns=$(wall_ns "$BUILD/bench/fig09_mpi_starts")
+fig09_ns=$(wall_ns "$BUILD/bench/fig09_bgp_util")
 
 commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 date_iso=$(date -u +%Y-%m-%dT%H:%M:%SZ)
@@ -73,7 +86,7 @@ entry = {
     "host": platform.node(),
     "figures_wall_ns": {
         "fig06_seq_rate": int(fig06_ns),
-        "fig09_mpi_starts": int(fig09_ns),
+        "fig09_bgp_util": int(fig09_ns),
     },
     "micro": benches,
 }

@@ -6,12 +6,16 @@
 #   scripts/check.sh --all      # both of the above
 #
 # The default preset run is the ROADMAP tier-1 gate: every ctest entry
-# (labels unit, property, chaos, retry) must pass, and the determinism
-# smoke re-runs fig06_seq_rate twice and byte-diffs the output — the
-# engine's event order must be a pure function of the inputs. The
+# (labels unit, property, chaos, retry, obs) must pass, and the
+# determinism smoke re-runs fig06_seq_rate twice and byte-diffs the
+# output — the engine's event order must be a pure function of the
+# inputs — then re-runs it with JETS_TRACE=1 and checks that, with the
+# '# obs' report lines stripped, the traced output is byte-identical to
+# the untraced run (tracing must not perturb the simulation). The
 # sanitizer pass re-runs the fault-heavy suites (-L chaos and -L retry)
-# plus the property suites and the engine/sync tests, which exercise the
-# event-slab allocator's recycling paths hardest.
+# plus the property suites, the observability suite (-L obs), and the
+# engine/sync tests, which exercise the event-slab allocator's recycling
+# paths hardest.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,6 +46,20 @@ if [[ "$run_default" == 1 ]]; then
     exit 1
   fi
   echo "determinism smoke: OK"
+
+  echo "== tracing smoke: JETS_TRACE=1 fig06 minus '# obs' lines, byte-identical =="
+  JETS_TRACE=1 ./build/bench/fig06_seq_rate > "$tmpdir/fig06_traced.txt"
+  grep -v '^# obs' "$tmpdir/fig06_traced.txt" > "$tmpdir/fig06_traced_stripped.txt"
+  if ! cmp -s "$tmpdir/fig06_a.txt" "$tmpdir/fig06_traced_stripped.txt"; then
+    echo "tracing smoke FAILED: tracing perturbed fig06_seq_rate output" >&2
+    diff "$tmpdir/fig06_a.txt" "$tmpdir/fig06_traced_stripped.txt" >&2 || true
+    exit 1
+  fi
+  if ! grep -q '^# obs phase' "$tmpdir/fig06_traced.txt"; then
+    echo "tracing smoke FAILED: no '# obs' phase table in traced output" >&2
+    exit 1
+  fi
+  echo "tracing smoke: OK"
 fi
 
 if [[ "$run_asan" == 1 ]]; then
@@ -51,6 +69,7 @@ if [[ "$run_asan" == 1 ]]; then
   ctest --preset asan-ubsan --no-tests=error -L chaos -j "$(nproc)"
   ctest --preset asan-ubsan --no-tests=error -L retry -j "$(nproc)"
   ctest --preset asan-ubsan --no-tests=error -L property -j "$(nproc)"
+  ctest --preset asan-ubsan --no-tests=error -L obs -j "$(nproc)"
   ctest --preset asan-ubsan --no-tests=error -j "$(nproc)" \
     -R '^(Engine|Channel|Semaphore|Gate|Time|Rng)\.'
 fi

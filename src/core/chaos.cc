@@ -6,6 +6,26 @@
 
 namespace jets::core {
 
+void ChaosEngine::attach_metrics(obs::MetricsRegistry& registry) {
+  metrics_ = &registry;
+}
+
+void ChaosEngine::bump(std::size_t ChaosCounters::* member, std::size_t d) {
+  counters_.*member += d;
+  if (!metrics_ || d == 0) return;
+  // Fault firing is cold path; a name lookup per bump is fine.
+  const char* name =
+      member == &ChaosCounters::pilots_killed ? "jets.chaos.pilots_killed"
+      : member == &ChaosCounters::connections_reset
+          ? "jets.chaos.connections_reset"
+      : member == &ChaosCounters::nodes_stalled ? "jets.chaos.nodes_stalled"
+      : member == &ChaosCounters::workers_hung ? "jets.chaos.workers_hung"
+      : member == &ChaosCounters::workers_released
+          ? "jets.chaos.workers_released"
+          : "jets.chaos.nodes_degraded";
+  metrics_->counter(name).inc(d);
+}
+
 void ChaosEngine::add_periodic(FaultKind kind, sim::Time first_at,
                                sim::Duration interval, std::size_t count,
                                sim::Duration duration) {
@@ -53,17 +73,17 @@ void ChaosEngine::fire(const Fault& f) {
           0, static_cast<std::int64_t>(pilots_.size()) - 1));
       machine_->kill(pilots_[idx]);
       pilots_.erase(pilots_.begin() + static_cast<std::ptrdiff_t>(idx));
-      ++counters_.pilots_killed;
+      bump(&ChaosCounters::pilots_killed);
       break;
     }
     case FaultKind::kSocketClose: {
-      counters_.connections_reset +=
-          machine_->network().reset_node(pick_node(f));
+      bump(&ChaosCounters::connections_reset,
+           machine_->network().reset_node(pick_node(f)));
       break;
     }
     case FaultKind::kSocketStall: {
       machine_->network().stall_node(pick_node(f), f.duration);
-      ++counters_.nodes_stalled;
+      bump(&ChaosCounters::nodes_stalled);
       break;
     }
     case FaultKind::kHangWorker: {
@@ -87,12 +107,12 @@ void ChaosEngine::fire(const Fault& f) {
         victim = eligible[idx];
       }
       victim->hang();
-      ++counters_.workers_hung;
+      bump(&ChaosCounters::workers_hung);
       if (f.duration > 0) {
         machine_->engine().call_in(f.duration, [this, victim] {
           if (!victim->hung()) return;
           victim->release();
-          ++counters_.workers_released;
+          bump(&ChaosCounters::workers_released);
         });
       }
       break;
@@ -100,7 +120,7 @@ void ChaosEngine::fire(const Fault& f) {
     case FaultKind::kSlowNode: {
       const os::NodeId node = pick_node(f);
       machine_->set_node_slowdown(node, f.exec_scale, f.compute_scale);
-      ++counters_.nodes_degraded;
+      bump(&ChaosCounters::nodes_degraded);
       if (f.duration > 0) {
         machine_->engine().call_in(f.duration, [this, node] {
           machine_->set_node_slowdown(node, 1.0, 1.0);

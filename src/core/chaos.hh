@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/worker.hh"
+#include "obs/metrics.hh"
 #include "os/machine.hh"
 #include "sim/random.hh"
 #include "sim/time.hh"
@@ -104,8 +105,16 @@ class ChaosEngine {
   /// Pilots not yet killed (FaultInjector-compatible accounting).
   std::size_t pilots_remaining() const { return pilots_.size(); }
 
+  /// Mirrors every ChaosCounters bump into `registry` as "jets.chaos.*"
+  /// counters, so a harness snapshotting one registry sees injected-fault
+  /// counts next to the service's failure taxonomy. Call before start();
+  /// the registry must outlive the engine.
+  void attach_metrics(obs::MetricsRegistry& registry);
+
  private:
   void fire(const Fault& f);
+  /// ++counters_.<member> mirrored to the registry when attached.
+  void bump(std::size_t ChaosCounters::* member, std::size_t d = 1);
   /// Resolves a fault's target node (drawing from rng_ when random).
   os::NodeId pick_node(const Fault& f);
 
@@ -116,6 +125,7 @@ class ChaosEngine {
   std::vector<os::NodeId> nodes_;
   std::shared_ptr<WorkerHangRegistry> registry_;
   ChaosCounters counters_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   bool started_ = false;
 };
 

@@ -5,7 +5,24 @@
 #include <set>
 #include <stdexcept>
 
+#include "obs/tracer.hh"
+
 namespace jets::core {
+
+namespace {
+
+const char* to_string(JobStatus status) {
+  switch (status) {
+    case JobStatus::kPending: return "pending";
+    case JobStatus::kRunning: return "running";
+    case JobStatus::kDone: return "done";
+    case JobStatus::kFailed: return "failed";
+    case JobStatus::kQuarantined: return "quarantined";
+  }
+  return "?";
+}
+
+}  // namespace
 
 Service::Service(os::Machine& machine, const os::AppRegistry& apps,
                  os::NodeId host, Config config)
@@ -14,6 +31,47 @@ Service::Service(os::Machine& machine, const os::AppRegistry& apps,
   kick_ch_ = std::make_unique<sim::Channel<int>>(machine.engine());
   all_done_ = std::make_unique<sim::Gate>(machine.engine());
   ready_.set_indexed(config_.network_aware_grouping);
+  init_metrics();
+}
+
+void Service::init_metrics() {
+  if (config_.metrics) {
+    metrics_ = config_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  obs::MetricsRegistry& m = *metrics_;
+  m_completed_ = &m.counter("jets.service.jobs.completed");
+  m_failed_ = &m.counter("jets.service.jobs.failed");
+  m_quarantined_ = &m.counter("jets.service.jobs.quarantined");
+  m_evicted_ = &m.counter("jets.service.workers.evicted");
+  m_reenlisted_ = &m.counter("jets.service.workers.reenlisted");
+  m_heartbeats_ = &m.counter("jets.service.workers.heartbeats");
+  m_blacklist_rejections_ = &m.counter("jets.service.blacklist.rejections");
+  m_blacklist_paroles_ = &m.counter("jets.service.blacklist.paroles");
+  m_retries_scheduled_ = &m.counter("jets.service.retry.scheduled");
+  for (std::size_t i = 0; i < kFailureReasonCount; ++i) {
+    m_failures_[i] =
+        &m.counter(std::string("jets.service.failures.") +
+                   to_string(static_cast<FailureReason>(i)));
+  }
+  m_workers_connected_ = &m.gauge("jets.service.workers.connected");
+  m_jobs_running_ = &m.gauge("jets.service.jobs.running");
+  m_queue_wait_ = &m.histogram("jets.service.queue_wait_ns");
+  m_job_wall_ = &m.histogram("jets.service.job_wall_ns");
+}
+
+obs::Tracer* Service::tracer() const { return machine_->tracer(); }
+
+void Service::close_job_spans(Job& job) {
+  obs::Tracer* tr = tracer();
+  if (!tr) return;
+  tr->end_and_clear(job.span_run);
+  tr->end_and_clear(job.span_group);
+  tr->end_and_clear(job.span_attempt);
+  tr->end_and_clear(job.span_queued);
+  tr->end_and_clear(job.span_backoff);
 }
 
 Service::Service(os::Machine& machine, const os::AppRegistry& apps,
@@ -43,6 +101,19 @@ JobId Service::submit(JobSpec spec) {
   auto [it, _] = jobs_.emplace(id, std::move(job));
   queue_.push_back(id, it->second.rec.spec.priority);
   all_done_->close();
+  if (obs::Tracer* tr = tracer()) {
+    Job& j = it->second;
+    j.span_job = tr->begin("job", obs::track_job(id));
+    tr->attr(j.span_job, "kind",
+             j.rec.spec.kind == JobKind::kMpi ? "mpi" : "seq");
+    tr->attr(j.span_job, "nprocs",
+             static_cast<std::int64_t>(j.rec.spec.nprocs));
+    if (j.rec.spec.priority != 0) {
+      tr->attr(j.span_job, "priority",
+               static_cast<std::int64_t>(j.rec.spec.priority));
+    }
+    j.span_queued = tr->begin("job.queued", obs::track_job(id), j.span_job);
+  }
   // The job's timeout is a deadline measured from submission: it covers
   // queue time too, so a job that can never be placed (e.g. wider than the
   // allocation) still settles.
@@ -66,7 +137,7 @@ void Service::deadline_expired(JobId id) {
     // Covers queued jobs *and* jobs waiting out a retry backoff (whose
     // pending requeue settle_job cancels).
     queue_.erase(id, job.rec.spec.priority);
-    ++failures_by_reason_[static_cast<std::size_t>(FailureReason::kJobDeadline)];
+    m_failures_[static_cast<std::size_t>(FailureReason::kJobDeadline)]->inc();
     settle_job(job, JobStatus::kFailed, FailureReason::kJobDeadline);
     kick();
     check_all_done();
@@ -141,7 +212,10 @@ sim::Task<void> Service::stage_to_workers(const std::string& path) {
 
 void Service::check_all_done() {
   if (!queue_.empty() || running_ != 0 || backing_off_ != 0) return;
-  if (completed_ + failed_ + quarantined_ == jobs_.size()) all_done_->open();
+  if (m_completed_->value + m_failed_->value + m_quarantined_->value ==
+      jobs_.size()) {
+    all_done_->open();
+  }
 }
 
 // --- Worker side -------------------------------------------------------------
@@ -164,7 +238,7 @@ sim::Task<void> Service::worker_handler(net::SocketPtr sock) {
     if (m->tag == kMsgRegister) {
       const auto node = static_cast<os::NodeId>(std::stoul(m->args.at(0)));
       if (node_blacklisted(node)) {
-        ++blacklist_rejections_;
+        m_blacklist_rejections_->inc();
         sock->close();
         break;  // refuse the node outright
       }
@@ -177,9 +251,10 @@ sim::Task<void> Service::worker_handler(net::SocketPtr sock) {
       w.last_heard = machine_->engine().now();
       workers_.emplace(wid, std::move(w));
       ++connected_;
+      m_workers_connected_->set(static_cast<std::int64_t>(connected_));
       peak_capacity_ = std::max(peak_capacity_, connected_);
     } else if (m->tag == kMsgPing && wid != 0) {
-      ++heartbeats_;  // last_heard already refreshed above
+      m_heartbeats_->inc();  // last_heard already refreshed above
     } else if (m->tag == kMsgReady && wid != 0) {
       Worker& w = workers_.at(wid);
       w.liveness_timer.cancel();
@@ -190,7 +265,7 @@ sim::Task<void> Service::worker_handler(net::SocketPtr sock) {
         // A disregarded worker came back (hang released, stall drained).
         // Unless its node has been blacklisted, give it another chance.
         if (node_blacklisted(w.node)) {
-          ++blacklist_rejections_;
+          m_blacklist_rejections_->inc();
           // The refused worker now waits silently for work, so if the ban
           // has a parole date, check back then and re-offer it ourselves.
           const auto ht = node_health_.find(w.node);
@@ -204,8 +279,9 @@ sim::Task<void> Service::worker_handler(net::SocketPtr sock) {
         w.evicted = false;
         w.connected = true;
         ++connected_;
+        m_workers_connected_->set(static_cast<std::int64_t>(connected_));
         peak_capacity_ = std::max(peak_capacity_, connected_);
-        ++reenlisted_;
+        m_reenlisted_->inc();
       }
       ready_.push_back(wid, w.node);
       kick();
@@ -240,6 +316,7 @@ sim::Task<void> Service::worker_handler(net::SocketPtr sock) {
     if (it->second.connected) {
       it->second.connected = false;
       --connected_;
+      m_workers_connected_->set(static_cast<std::int64_t>(connected_));
       ready_.erase(wid, it->second.node);
       if (it->second.busy && it->second.job != 0) {
         // Its task cannot finish; fail the attempt so the job can retry on
@@ -333,7 +410,19 @@ sim::Task<void> Service::place_job(JobId id) {
     att.started_at = machine_->engine().now();
     job.rec.history.push_back(att);
   }
+  if (obs::Tracer* tr = tracer()) {
+    tr->end_and_clear(job.span_queued);
+    job.span_attempt = tr->begin("job.attempt", obs::track_job(id),
+                                 job.span_job);
+    tr->attr(job.span_attempt, "attempt", static_cast<std::int64_t>(attempt));
+    job.span_group = tr->begin("job.group", obs::track_job(id),
+                               job.span_attempt);
+  }
+  if (attempt == 1) {
+    m_queue_wait_->observe(machine_->engine().now() - job.rec.submitted_at);
+  }
   ++running_;
+  m_jobs_running_->set(static_cast<std::int64_t>(running_));
   job.rec.nodes.clear();
   for (WorkerId wid : claimed) {
     Worker& w = workers_.at(wid);
@@ -371,6 +460,11 @@ sim::Task<void> Service::place_job(JobId id) {
       co_return;
     }
     w.sock->send(make_run_message(tid, spec.argv, spec.vars));
+    if (obs::Tracer* tr = tracer()) {
+      tr->end_and_clear(job.span_group);
+      job.span_run = tr->begin("job.run", obs::track_job(id),
+                               job.span_attempt);
+    }
   } else {
     co_await sim::delay(config_.mpi_job_overhead);
     if (job.rec.status != JobStatus::kRunning || job.rec.attempts != attempt) {
@@ -384,6 +478,8 @@ sim::Task<void> Service::place_job(JobId id) {
     mspec.user_vars = spec.vars;
     mspec.proxy_setup_cost = config_.proxy_setup_cost;
     mspec.launch_timeout = config_.mpi_launch_timeout;
+    mspec.trace_track = obs::track_job(id);
+    mspec.trace_parent = job.span_attempt;
     job.mpx = std::make_shared<pmi::Mpiexec>(*machine_, *apps_, host_, mspec);
     job.mpx->start();
     const auto cmds = job.mpx->proxy_commands();
@@ -405,6 +501,11 @@ sim::Task<void> Service::place_job(JobId id) {
         co_return;
       }
       w.sock->send(make_run_message(tid, cmds[k], {}));
+    }
+    if (obs::Tracer* tr = tracer()) {
+      tr->end_and_clear(job.span_group);
+      job.span_run = tr->begin("job.run", obs::track_job(id),
+                               job.span_attempt);
     }
     // Completion is observed through mpiexec, whose output JETS checks.
     // The waiter holds shared ownership: it is the coroutine suspended
@@ -434,6 +535,7 @@ void Service::job_finished(JobId id, int status, FailureReason reason) {
   // (settle_job cancels it); cancelling here would hand a failing job a
   // fresh, unbounded deadline on every attempt.
   --running_;
+  m_jobs_running_->set(static_cast<std::int64_t>(running_));
 
   if (status != 0) {
     // Reap stragglers: any connected worker still running a piece of this
@@ -474,6 +576,16 @@ void Service::job_finished(JobId id, int status, FailureReason reason) {
     att.reason = reason;
   }
 
+  if (obs::Tracer* tr = tracer()) {
+    tr->end_and_clear(job.span_run);
+    tr->end_and_clear(job.span_group);
+    tr->attr(job.span_attempt, "status", static_cast<std::int64_t>(status));
+    if (reason != FailureReason::kNone) {
+      tr->attr(job.span_attempt, "reason", to_string(reason));
+    }
+    tr->end_and_clear(job.span_attempt);
+  }
+
   if (status == 0) {
     settle_job(job, JobStatus::kDone, FailureReason::kNone);
     kick();
@@ -482,7 +594,7 @@ void Service::job_finished(JobId id, int status, FailureReason reason) {
   }
 
   job.rec.last_reason = reason;
-  ++failures_by_reason_[static_cast<std::size_t>(reason)];
+  m_failures_[static_cast<std::size_t>(reason)]->inc();
   if (is_infra_failure(reason)) {
     ++job.rec.infra_failures;
   } else {
@@ -508,7 +620,11 @@ void Service::job_finished(JobId id, int status, FailureReason reason) {
     if (!job.rec.history.empty()) job.rec.history.back().backoff = delay;
     job.in_backoff = true;
     ++backing_off_;
-    ++retries_scheduled_;
+    m_retries_scheduled_->inc();
+    if (obs::Tracer* tr = tracer()) {
+      job.span_backoff = tr->begin("job.backoff", obs::track_job(id),
+                                   job.span_job);
+    }
     job.retry_timer =
         machine_->engine().call_in(delay, [this, id] { requeue_job(id); });
   } else if (reason == FailureReason::kAppExit && charged >= pol.max_attempts) {
@@ -546,10 +662,15 @@ void Service::requeue_job(JobId id) {
   const auto needed = static_cast<std::size_t>(job.rec.spec.workers_needed());
   if (config_.fail_unsatisfiable && needed > potential_capacity() &&
       needed <= peak_capacity_) {
-    ++failures_by_reason_[static_cast<std::size_t>(FailureReason::kServiceAbort)];
+    m_failures_[static_cast<std::size_t>(FailureReason::kServiceAbort)]->inc();
     settle_job(job, JobStatus::kFailed, FailureReason::kServiceAbort);
     check_all_done();
     return;
+  }
+  if (obs::Tracer* tr = tracer()) {
+    tr->end_and_clear(job.span_backoff);
+    job.span_queued = tr->begin("job.queued", obs::track_job(id),
+                                job.span_job);
   }
   queue_.push_back(id, job.rec.spec.priority);
   kick();
@@ -566,11 +687,20 @@ void Service::settle_job(Job& job, JobStatus status, FailureReason reason) {
   job.rec.last_reason = reason;
   job.rec.finished_at = machine_->engine().now();
   if (status == JobStatus::kDone) {
-    ++completed_;
+    m_completed_->inc();
   } else if (status == JobStatus::kQuarantined) {
-    ++quarantined_;
+    m_quarantined_->inc();
   } else {
-    ++failed_;
+    m_failed_->inc();
+  }
+  m_job_wall_->observe(job.rec.finished_at - job.rec.submitted_at);
+  close_job_spans(job);
+  if (obs::Tracer* tr = tracer()) {
+    tr->attr(job.span_job, "status", to_string(status));
+    if (reason != FailureReason::kNone) {
+      tr->attr(job.span_job, "reason", to_string(reason));
+    }
+    tr->end_and_clear(job.span_job);
   }
   if (job.settled) job.settled->open();
   if (hooks_.on_job_finish) hooks_.on_job_finish(job.rec);
@@ -625,7 +755,7 @@ void Service::reap_unsatisfiable() {
   for (JobId id : doomed) {
     Job& job = jobs_.at(id);
     queue_.erase(id, job.rec.spec.priority);
-    ++failures_by_reason_[static_cast<std::size_t>(FailureReason::kServiceAbort)];
+    m_failures_[static_cast<std::size_t>(FailureReason::kServiceAbort)]->inc();
     settle_job(job, JobStatus::kFailed, FailureReason::kServiceAbort);
   }
   if (!doomed.empty()) check_all_done();
@@ -662,7 +792,8 @@ void Service::evict_worker(WorkerId wid) {
   w.evicted = true;
   w.connected = false;
   --connected_;
-  ++evicted_;
+  m_workers_connected_->set(static_cast<std::int64_t>(connected_));
+  m_evicted_->inc();
   NodeHealth& h = node_health_[w.node];
   ++h.evictions;
   if (config_.blacklist_after > 0 && !h.banned &&
@@ -701,7 +832,7 @@ bool Service::node_blacklisted(os::NodeId node) {
     h.banned = false;
     h.banned_until = -1;
     h.evictions /= 2;
-    ++blacklist_paroles_;
+    m_blacklist_paroles_->inc();
     return false;
   }
   return true;
@@ -719,8 +850,9 @@ void Service::reoffer_worker(WorkerId wid) {
   w.evicted = false;
   w.connected = true;
   ++connected_;
+  m_workers_connected_->set(static_cast<std::int64_t>(connected_));
   peak_capacity_ = std::max(peak_capacity_, connected_);
-  ++reenlisted_;
+  m_reenlisted_->inc();
   ready_.push_back(wid, w.node);
   kick();
 }

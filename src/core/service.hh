@@ -61,6 +61,8 @@
 #include "core/job.hh"
 #include "core/worker.hh"
 #include "net/socket.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "os/machine.hh"
 #include "os/program.hh"
 #include "pmi/hydra.hh"
@@ -123,6 +125,11 @@ class Service {
     /// met — fail the job with kServiceAbort instead of letting wait_all
     /// hang on it.
     bool fail_unsatisfiable = true;
+    /// Metrics sink. The service registers its instruments here (dotted
+    /// "jets.service.*" names, see DESIGN.md §8) so harnesses can snapshot
+    /// one registry across components. nullptr = the service owns a
+    /// private registry; the counter accessors below work either way.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   /// Observation hooks for benchmark harnesses.
@@ -167,30 +174,38 @@ class Service {
   const JobRecord& record(JobId id) const { return jobs_.at(id).rec; }
   std::vector<JobRecord> records() const;
 
+  /// The metrics registry this service reports to: Config::metrics when
+  /// set, otherwise a private one. All the counter accessors below are
+  /// views over it — the registry holds the truth.
+  obs::MetricsRegistry& metrics() { return *metrics_; }
+  const obs::MetricsRegistry& metrics() const { return *metrics_; }
+
   // Live counters (sampled by harnesses for Figs 10/13).
   std::size_t connected_workers() const { return connected_; }
   std::size_t ready_workers() const;
   std::size_t running_jobs() const { return running_; }
   std::size_t pending_jobs() const { return queue_.size(); }
-  std::size_t completed_jobs() const { return completed_; }
-  std::size_t failed_jobs() const { return failed_; }
-  std::size_t quarantined_jobs() const { return quarantined_; }
+  std::size_t completed_jobs() const { return m_completed_->value; }
+  std::size_t failed_jobs() const { return m_failed_->value; }
+  std::size_t quarantined_jobs() const { return m_quarantined_->value; }
 
   // Liveness/eviction counters (chaos benches and the fault-matrix tests).
-  std::size_t evicted_workers() const { return evicted_; }
-  std::size_t reenlisted_workers() const { return reenlisted_; }
-  std::size_t heartbeats_received() const { return heartbeats_; }
-  std::size_t blacklist_rejections() const { return blacklist_rejections_; }
-  std::size_t blacklist_paroles() const { return blacklist_paroles_; }
+  std::size_t evicted_workers() const { return m_evicted_->value; }
+  std::size_t reenlisted_workers() const { return m_reenlisted_->value; }
+  std::size_t heartbeats_received() const { return m_heartbeats_->value; }
+  std::size_t blacklist_rejections() const {
+    return m_blacklist_rejections_->value;
+  }
+  std::size_t blacklist_paroles() const { return m_blacklist_paroles_->value; }
 
   // Failure-taxonomy counters (fault-spectrum bench, Fig 10).
   /// Failures classified as `reason` across all jobs: one count per failed
   /// attempt, plus attempt-less settles (queued-job deadlines, aborts).
   std::size_t failures_by_reason(FailureReason reason) const {
-    return failures_by_reason_.at(static_cast<std::size_t>(reason));
+    return m_failures_.at(static_cast<std::size_t>(reason))->value;
   }
   /// Delayed requeues the retry engine has scheduled.
-  std::size_t retries_scheduled() const { return retries_scheduled_; }
+  std::size_t retries_scheduled() const { return m_retries_scheduled_->value; }
 
   /// Test hook: the ready pool holds no duplicates and only workers that
   /// are connected, idle, and not evicted.
@@ -357,6 +372,15 @@ class Service {
     sim::TimerHandle retry_timer;
     bool in_backoff = false;
     std::unique_ptr<sim::Gate> settled;  // created lazily by wait_job
+    /// Open spans of this job's lifecycle (0 = not traced / not open).
+    /// span_job covers submit->settle; the others are phases within it —
+    /// see DESIGN.md §8 for the span tree.
+    obs::SpanId span_job = 0;      // "job"
+    obs::SpanId span_queued = 0;   // "job.queued" (also re-queue waits)
+    obs::SpanId span_backoff = 0;  // "job.backoff" (retry engine delay)
+    obs::SpanId span_attempt = 0;  // "job.attempt" (placement->settle)
+    obs::SpanId span_group = 0;    // "job.group" (claim + dispatch fan-out)
+    obs::SpanId span_run = 0;      // "job.run" (work handed over->outcome)
   };
 
   /// Per-node eviction/blacklist bookkeeping (see Config::blacklist_after
@@ -367,6 +391,13 @@ class Service {
     /// Parole time; -1 = permanent (blacklist_probation == 0).
     sim::Time banned_until = -1;
   };
+
+  /// Binds metrics_/m_* to Config::metrics or a private registry.
+  void init_metrics();
+  /// The machine's tracer, or nullptr when tracing is off.
+  obs::Tracer* tracer() const;
+  /// Closes any span of `job` that is still open (settle paths).
+  void close_job_spans(Job& job);
 
   sim::Task<void> accept_loop();
   sim::Task<void> worker_handler(net::SocketPtr sock);
@@ -458,16 +489,26 @@ class Service {
   std::size_t running_ = 0;
   /// Jobs waiting out a retry backoff (kPending but not in queue_).
   std::size_t backing_off_ = 0;
-  std::size_t completed_ = 0;
-  std::size_t failed_ = 0;
-  std::size_t quarantined_ = 0;
-  std::size_t evicted_ = 0;
-  std::size_t reenlisted_ = 0;
-  std::size_t heartbeats_ = 0;
-  std::size_t blacklist_rejections_ = 0;
-  std::size_t blacklist_paroles_ = 0;
-  std::size_t retries_scheduled_ = 0;
-  std::array<std::size_t, kFailureReasonCount> failures_by_reason_{};
+
+  /// Instruments cached out of the registry at construction (stable
+  /// addresses): one pointer-indirect add per event, no name lookups on
+  /// the hot path. The registry (metrics_) holds the authoritative values.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* m_completed_ = nullptr;
+  obs::Counter* m_failed_ = nullptr;
+  obs::Counter* m_quarantined_ = nullptr;
+  obs::Counter* m_evicted_ = nullptr;
+  obs::Counter* m_reenlisted_ = nullptr;
+  obs::Counter* m_heartbeats_ = nullptr;
+  obs::Counter* m_blacklist_rejections_ = nullptr;
+  obs::Counter* m_blacklist_paroles_ = nullptr;
+  obs::Counter* m_retries_scheduled_ = nullptr;
+  std::array<obs::Counter*, kFailureReasonCount> m_failures_{};
+  obs::Gauge* m_workers_connected_ = nullptr;
+  obs::Gauge* m_jobs_running_ = nullptr;
+  obs::Histogram* m_queue_wait_ = nullptr;
+  obs::Histogram* m_job_wall_ = nullptr;
 };
 
 }  // namespace jets::core

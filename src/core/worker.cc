@@ -4,6 +4,8 @@
 #include <memory>
 #include <set>
 
+#include "obs/tracer.hh"
+
 namespace jets::core {
 
 net::Message make_run_message(const std::string& task_id,
@@ -68,6 +70,11 @@ sim::Task<void> task_wrapper(os::Machine* machine, const os::AppRegistry* apps,
   env.node = node;
   env.argv = req.argv;
   env.vars = std::move(req.vars);
+  // RAII: if the pilot (and so this wrapper) is killed mid-task, frame
+  // teardown closes the span at the kill time.
+  obs::ScopedSpan span(machine->tracer(), "worker.task",
+                       obs::track_node(node));
+  span.attr("task", req.task_id);
   int status = 0;
   try {
     const os::Program& program = apps->lookup(env.argv.at(0));
@@ -122,12 +129,16 @@ sim::Task<void> worker_main(const os::AppRegistry* apps, WorkerConfig config,
   }
 
   // Stage files into node-local storage before taking work (§5 feature 2).
-  for (const std::string& file : config.stage_files) {
-    if (node.local_fs().exists(file)) continue;
-    auto size = machine.shared_fs().size(file);
-    if (!size) continue;  // tolerate missing staging entries
-    co_await machine.shared_fs().read(file);
-    co_await node.local_fs().write(file, *size);
+  {
+    obs::ScopedSpan span(machine.tracer(), "worker.stage",
+                         obs::track_node(env.node));
+    for (const std::string& file : config.stage_files) {
+      if (node.local_fs().exists(file)) continue;
+      auto size = machine.shared_fs().size(file);
+      if (!size) continue;  // tolerate missing staging entries
+      co_await machine.shared_fs().read(file);
+      co_await node.local_fs().write(file, *size);
+    }
   }
 
   auto state = std::make_shared<WorkerState>();

@@ -1,0 +1,176 @@
+#include "obs/chrome_trace.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "obs/span.hh"
+#include "obs/tracer.hh"
+
+namespace jets::obs {
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_ts(sim::Time ns) {
+  // Chrome wants microseconds; keep full ns resolution as three decimals.
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%" PRId64 ".%03" PRId64, ns / 1000,
+                ns % 1000);
+  return buf;
+}
+
+std::string_view category_of(std::string_view name) {
+  auto dot = name.find('.');
+  return dot == std::string_view::npos ? name : name.substr(0, dot);
+}
+
+struct Event {
+  sim::Time ts;
+  const Span* span;
+  std::size_t lane;
+  bool is_begin;
+};
+
+}  // namespace
+
+std::string chrome_trace_json(const Tracer& tracer) {
+  const std::vector<Span>& spans = tracer.spans();
+
+  // Lane assignment. Chrome requires each (pid, tid)'s events to form a
+  // well-nested stack, but spans on one track may overlap without nesting;
+  // give each such span its own tid "lane". A lane's open spans form a
+  // stack; a new span fits a lane iff, after popping spans that ended at or
+  // before its begin, the lane is empty or its innermost open span fully
+  // contains it. Processing in id order == begin order makes this greedy
+  // assignment deterministic.
+  struct Lane {
+    std::vector<const Span*> stack;  // open spans, innermost last
+    std::vector<const Span*> roots;  // containment-forest roots, begin order
+  };
+  std::map<std::uint64_t, std::vector<Lane>> tracks;
+  // Children in the per-lane containment forest (indexed by span id).
+  std::vector<std::vector<const Span*>> children(spans.size() + 1);
+  std::vector<std::size_t> lane_of(spans.size() + 1, 0);
+
+  for (const Span& s : spans) {
+    if (!s.closed()) continue;  // export after settle; open spans skipped
+    std::vector<Lane>& lanes = tracks[s.track];
+    std::size_t chosen = lanes.size();
+    for (std::size_t li = 0; li < lanes.size(); ++li) {
+      std::vector<const Span*>& st = lanes[li].stack;
+      while (!st.empty() && st.back()->end <= s.begin) st.pop_back();
+      if (st.empty() || st.back()->end >= s.end) {
+        chosen = li;
+        break;
+      }
+    }
+    if (chosen == lanes.size()) lanes.emplace_back();
+    Lane& lane = lanes[chosen];
+    if (lane.stack.empty()) {
+      lane.roots.push_back(&s);
+    } else {
+      children[lane.stack.back()->id].push_back(&s);
+    }
+    lane.stack.push_back(&s);
+    lane_of[s.id] = chosen;
+  }
+
+  // Emit each lane's forest as a DFS of B/E pairs: per-lane timestamps are
+  // nondecreasing (siblings in a lane never overlap), so a stable global
+  // sort by timestamp keeps every lane's sequence stack-valid while making
+  // the whole document monotonic.
+  std::vector<Event> events;
+  events.reserve(spans.size() * 2);
+  auto emit = [&](const Span* s, std::size_t lane, auto&& self) -> void {
+    events.push_back(Event{s->begin, s, lane, true});
+    for (const Span* c : children[s->id]) self(c, lane, self);
+    events.push_back(Event{s->end, s, lane, false});
+  };
+  for (const auto& [track, lanes] : tracks) {
+    (void)track;
+    for (std::size_t li = 0; li < lanes.size(); ++li) {
+      for (const Span* root : lanes[li].roots) emit(root, li, emit);
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) { return a.ts < b.ts; });
+
+  std::string out = "{\"traceEvents\":[\n";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    const Span& s = *e.span;
+    out += "{\"name\":\"";
+    out += json_escape(s.name);
+    out += "\",\"cat\":\"";
+    out += json_escape(category_of(s.name));
+    out += "\",\"ph\":\"";
+    out += e.is_begin ? 'B' : 'E';
+    out += "\",\"pid\":";
+    out += std::to_string(s.track);
+    out += ",\"tid\":";
+    out += std::to_string(e.lane);
+    out += ",\"ts\":";
+    out += format_ts(e.ts);
+    if (e.is_begin && !s.attrs.empty()) {
+      out += ",\"args\":{";
+      for (std::size_t ai = 0; ai < s.attrs.size(); ++ai) {
+        if (ai) out += ',';
+        out += '"';
+        out += json_escape(s.attrs[ai].key);
+        out += "\":\"";
+        out += json_escape(s.attrs[ai].value);
+        out += '"';
+      }
+      out += '}';
+    }
+    out += '}';
+    if (i + 1 < events.size()) out += ',';
+    out += '\n';
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool write_chrome_trace(const Tracer& tracer, const std::string& path) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f << chrome_trace_json(tracer);
+  return static_cast<bool>(f);
+}
+
+}  // namespace jets::obs

@@ -1,0 +1,33 @@
+// Chrome trace-event exporter.
+//
+// Renders a Tracer's closed spans as a catapult / chrome://tracing /
+// Perfetto-compatible JSON document of duration events: every span becomes
+// a "B" (begin) and matching "E" (end) event. Chrome's format requires the
+// events of each (pid, tid) pair to form a well-nested stack with
+// nondecreasing timestamps, but JETS spans on one track can overlap
+// without nesting (e.g. a retry backoff tail vs. the next queued phase),
+// so the exporter assigns overlapping siblings to separate tid "lanes":
+// each lane holds a containment forest and is emitted as a DFS of B/E
+// pairs. pid = span track (job id, or node id + offset), tid = lane.
+//
+// Timestamps are emitted in microseconds with fractional nanoseconds
+// (ts = sim ns / 1000, three decimals) as the format prescribes. Open
+// spans are skipped — export after the workload settles.
+#pragma once
+
+#include <string>
+
+namespace jets::obs {
+
+class Tracer;
+
+/// Full document: {"traceEvents":[ ... ]}. One event object per line so
+/// tests (and grep) can parse it without a JSON library. Deterministic:
+/// same span stream -> byte-identical output.
+std::string chrome_trace_json(const Tracer& tracer);
+
+/// Convenience: write chrome_trace_json() to `path`. Returns false if the
+/// file could not be opened.
+bool write_chrome_trace(const Tracer& tracer, const std::string& path);
+
+}  // namespace jets::obs

@@ -1,0 +1,125 @@
+#include "obs/phase_table.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+#include "obs/span.hh"
+#include "obs/tracer.hh"
+
+namespace jets::obs {
+
+void PhaseStats::add(sim::Duration d) {
+  if (d < 0) d = 0;
+  if (count == 0 || d < min) min = d;
+  if (count == 0 || d > max) max = d;
+  ++count;
+  total += d;
+}
+
+void PhaseStats::merge(const PhaseStats& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  total += other.total;
+}
+
+PhaseTable::PhaseTable() {
+  static constexpr struct {
+    const char* phase;
+    const char* span;
+  } kPhases[] = {
+      {"queue", "job.queued"},     {"group", "job.group"},
+      {"launch", "mpiexec.launch"}, {"pmi", "pmi.barrier"},
+      {"run", "job.run"},
+  };
+  for (const auto& p : kPhases) {
+    PhaseStats s;
+    s.phase = p.phase;
+    s.span_name = p.span;
+    rows_.push_back(std::move(s));
+  }
+}
+
+void PhaseTable::absorb(const Tracer& tracer) {
+  for (const Span& s : tracer.spans()) {
+    if (!s.closed()) continue;
+    for (PhaseStats& row : rows_) {
+      if (row.span_name == s.name) {
+        row.add(s.duration());
+        break;
+      }
+    }
+  }
+}
+
+void PhaseTable::merge(const PhaseTable& other) {
+  for (PhaseStats& row : rows_) {
+    for (const PhaseStats& orow : other.rows_) {
+      if (orow.span_name == row.span_name) {
+        row.merge(orow);
+        break;
+      }
+    }
+  }
+}
+
+namespace {
+
+std::string us3(sim::Duration ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%" PRId64 ".%03" PRId64, ns / 1000,
+                ns % 1000);
+  return buf;
+}
+
+std::string us3(double ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", ns / 1000.0);
+  return buf;
+}
+
+}  // namespace
+
+std::string PhaseTable::render() const {
+  std::string out =
+      "# obs phase      count     mean_us      min_us      max_us    total_us\n";
+  char line[200];
+  for (const PhaseStats& row : rows_) {
+    std::snprintf(line, sizeof line, "# obs %-8s %8" PRIu64 " %11s %11s %11s %11s\n",
+                  row.phase.c_str(), row.count, us3(row.mean_ns()).c_str(),
+                  us3(row.min).c_str(), us3(row.max).c_str(),
+                  us3(row.total).c_str());
+    out += line;
+  }
+  return out;
+}
+
+std::vector<PhaseStats> aggregate_by_name(const Tracer& tracer) {
+  std::map<std::string, PhaseStats> by_name;
+  for (const Span& s : tracer.spans()) {
+    if (!s.closed()) continue;
+    PhaseStats& row = by_name[s.name];
+    if (row.count == 0) {
+      row.phase = s.name;
+      row.span_name = s.name;
+    }
+    row.add(s.duration());
+  }
+  std::vector<PhaseStats> rows;
+  rows.reserve(by_name.size());
+  for (auto& [name, row] : by_name) {
+    (void)name;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace jets::obs

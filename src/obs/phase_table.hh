@@ -1,0 +1,68 @@
+// Per-phase latency table: aggregates a span stream into the pipeline
+// phases the paper's launch-time decomposition argues about.
+//
+// The canonical mapping pins the report rows to stable span names:
+//   queue  <- job.queued        (submit -> placed on workers)
+//   group  <- job.group         (worker grouping + dispatch fan-out)
+//   launch <- mpiexec.launch    (mpiexec start -> all proxies dialed back)
+//   pmi    <- pmi.barrier       (KVS exchange barrier at rank startup)
+//   run    <- job.run           (application execution)
+// Benches print this table under a "# obs " prefix after their series, so
+// plain series output stays grep-able (grep -v '^# obs').
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace jets::obs {
+
+class Tracer;
+
+struct PhaseStats {
+  std::string phase;       // report row label
+  std::string span_name;   // span name it aggregates
+  std::uint64_t count = 0;
+  sim::Duration total = 0;
+  sim::Duration min = 0;
+  sim::Duration max = 0;
+
+  double mean_ns() const {
+    return count ? static_cast<double>(total) / static_cast<double>(count)
+                 : 0.0;
+  }
+  void add(sim::Duration d);
+  void merge(const PhaseStats& other);
+};
+
+/// Accumulates closed-span durations phase by phase. One accumulator can
+/// absorb many tracers (benches run a fresh testbed per data point and
+/// merge), and rows keep the canonical order above.
+class PhaseTable {
+ public:
+  /// Rows for the canonical queue/group/launch/pmi/run phases, in order.
+  PhaseTable();
+
+  /// Folds every *closed* span whose name has a canonical row into the
+  /// table. Spans outside the mapping are ignored.
+  void absorb(const Tracer& tracer);
+
+  const std::vector<PhaseStats>& rows() const { return rows_; }
+  void merge(const PhaseTable& other);
+
+  /// Fixed-width text table, one "# obs " prefixed line per row plus a
+  /// header line. Durations in microseconds with 3 decimals; deterministic.
+  std::string render() const;
+
+ private:
+  std::vector<PhaseStats> rows_;
+};
+
+/// Generic per-name aggregation of a whole span stream (every distinct span
+/// name gets a row, sorted by name). Used by tests and ad-hoc inspection.
+std::vector<PhaseStats> aggregate_by_name(const Tracer& tracer);
+
+}  // namespace jets::obs

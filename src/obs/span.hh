@@ -1,0 +1,60 @@
+// Span model for the observability layer.
+//
+// A Span is one named, timed phase of the pilot-job pipeline (queue wait,
+// worker grouping, mpiexec launch, PMI exchange, application run, ...).
+// Spans carry integer-nanosecond *simulated* timestamps, nest through
+// parent ids, and attach structured attributes — the decomposition the
+// paper uses to argue where pilot-launch time goes (§5, Figs 6/9), made
+// first-class so every future perf PR can be measured against it.
+//
+// Determinism: a span records only (a) the engine clock at the call site
+// and (b) values the caller already computed. Recording never schedules
+// events, draws randomness, or otherwise feeds back into the simulation,
+// so same-seed runs produce identical span streams and a run with tracing
+// attached executes the exact same event sequence as one without.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace jets::obs {
+
+/// Identifier of a span within one Tracer; ids are handed out densely in
+/// begin() order, so id order == begin order. 0 = "no span" (also used as
+/// "no parent").
+using SpanId = std::uint64_t;
+
+/// One structured attribute. Values are stored as strings; Tracer::attr has
+/// an integer overload that formats for you.
+struct Attr {
+  std::string key;
+  std::string value;
+};
+
+/// Track ids group spans into Chrome-trace processes ("pid" rows). Two
+/// namespaces are in use: per-job tracks (job-lifecycle spans, keyed by
+/// JobId) and per-node tracks (worker / PMI-client spans, keyed by NodeId).
+/// The offset keeps them from colliding on small integers.
+inline constexpr std::uint64_t kNodeTrackBase = 1'000'000'000ull;
+constexpr std::uint64_t track_job(std::uint64_t job_id) { return job_id; }
+constexpr std::uint64_t track_node(std::uint64_t node_id) {
+  return kNodeTrackBase + node_id;
+}
+
+struct Span {
+  SpanId id = 0;
+  SpanId parent = 0;  // 0 = root
+  std::string name;   // dotted phase name, e.g. "job.queued"
+  std::uint64_t track = 0;
+  sim::Time begin = 0;
+  sim::Time end = -1;  // -1 while open
+  std::vector<Attr> attrs;
+
+  bool closed() const { return end >= 0; }
+  sim::Duration duration() const { return closed() ? end - begin : 0; }
+};
+
+}  // namespace jets::obs

@@ -1,0 +1,31 @@
+#include "obs/tracer.hh"
+
+namespace jets::obs {
+
+std::string Tracer::serialize() const {
+  std::string out;
+  out.reserve(spans_.size() * 64);
+  for (const Span& s : spans_) {
+    out += std::to_string(s.id);
+    out += ' ';
+    out += std::to_string(s.parent);
+    out += ' ';
+    out += std::to_string(s.track);
+    out += ' ';
+    out += std::to_string(s.begin);
+    out += ' ';
+    out += std::to_string(s.end);
+    out += ' ';
+    out += s.name;
+    for (const Attr& a : s.attrs) {
+      out += ' ';
+      out += a.key;
+      out += '=';
+      out += a.value;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace jets::obs

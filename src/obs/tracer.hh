@@ -1,0 +1,128 @@
+// Span tracer: records named, nested phases with simulated timestamps.
+//
+// Attachment model: components read the tracer pointer from the shared
+// os::Machine (Machine::tracer(), nullptr by default) and guard every
+// instrumentation site on it, so an untraced run pays one pointer load per
+// site and allocates nothing — "zero-cost when no sink is attached".
+// Attach a tracer *before* starting the workload and leave it attached for
+// the machine's lifetime; spans are recorded in event-execution order,
+// which the engine guarantees is a pure function of the inputs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/span.hh"
+#include "sim/engine.hh"
+#include "sim/time.hh"
+
+namespace jets::obs {
+
+class Tracer {
+ public:
+  /// The engine supplies timestamps; it must outlive the tracer.
+  explicit Tracer(sim::Engine& engine) : engine_(&engine) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Opens a span at the current simulated time. `parent` = 0 for roots.
+  SpanId begin(std::string_view name, std::uint64_t track = 0,
+               SpanId parent = 0) {
+    Span s;
+    s.id = spans_.size() + 1;
+    s.parent = parent;
+    s.name = std::string(name);
+    s.track = track;
+    s.begin = engine_->now();
+    spans_.push_back(std::move(s));
+    ++open_;
+    return spans_.back().id;
+  }
+
+  /// Closes a span at the current simulated time. Ending an already-closed
+  /// or unknown span is a no-op (id 0 included), so settle paths can close
+  /// unconditionally.
+  void end(SpanId id) {
+    Span* s = find(id);
+    if (!s || s->closed()) return;
+    s->end = engine_->now();
+    --open_;
+  }
+
+  /// end() + reset to 0, for "close if open" sites that keep the id in a
+  /// long-lived struct across attempts.
+  void end_and_clear(SpanId& id) {
+    end(id);
+    id = 0;
+  }
+
+  void attr(SpanId id, std::string_view key, std::string_view value) {
+    if (Span* s = find(id)) {
+      s->attrs.push_back(Attr{std::string(key), std::string(value)});
+    }
+  }
+  void attr(SpanId id, std::string_view key, std::int64_t value) {
+    attr(id, key, std::to_string(value));
+  }
+
+  const std::vector<Span>& spans() const { return spans_; }
+  std::size_t size() const { return spans_.size(); }
+  std::size_t open_spans() const { return open_; }
+  sim::Engine& engine() const { return *engine_; }
+
+  /// Canonical text form of the whole span stream, one line per span in id
+  /// (begin) order:
+  ///   <id> <parent> <track> <begin> <end> <name> [k=v ...]
+  /// Two same-seed runs must serialize identically — the regression suite's
+  /// equality and golden checks compare exactly this.
+  std::string serialize() const;
+
+ private:
+  Span* find(SpanId id) {
+    if (id == 0 || id > spans_.size()) return nullptr;
+    return &spans_[id - 1];
+  }
+
+  sim::Engine* engine_;
+  std::vector<Span> spans_;
+  std::size_t open_ = 0;
+};
+
+/// RAII span for phases that open and close in one scope — including a
+/// coroutine frame: if the actor is killed mid-phase, frame teardown runs
+/// the destructor and the span closes at the kill time. Null tracer = no-op.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(Tracer* tracer, std::string_view name, std::uint64_t track = 0,
+             SpanId parent = 0)
+      : tracer_(tracer) {
+    if (tracer_) id_ = tracer_->begin(name, track, parent);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ScopedSpan(ScopedSpan&& other) noexcept
+      : tracer_(other.tracer_), id_(other.id_) {
+    other.tracer_ = nullptr;
+    other.id_ = 0;
+  }
+  ~ScopedSpan() {
+    if (tracer_) tracer_->end(id_);
+  }
+
+  SpanId id() const { return id_; }
+  void attr(std::string_view key, std::string_view value) {
+    if (tracer_) tracer_->attr(id_, key, value);
+  }
+  void attr(std::string_view key, std::int64_t value) {
+    if (tracer_) tracer_->attr(id_, key, value);
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  SpanId id_ = 0;
+};
+
+}  // namespace jets::obs

@@ -29,6 +29,10 @@
 #include "sim/sync.hh"
 #include "sim/task.hh"
 
+namespace jets::obs {
+class Tracer;
+}
+
 namespace jets::os {
 
 using net::NodeId;
@@ -159,6 +163,14 @@ class Machine {
   net::Network& network() { return network_; }
   SharedFs& shared_fs() { return shared_fs_; }
 
+  /// Observability hook: the span tracer every JETS component on this
+  /// machine reports to, or nullptr (the default — tracing off, no cost
+  /// beyond this pointer load). Attach before starting the workload and
+  /// keep the tracer alive for the machine's lifetime; recording never
+  /// schedules events, so attaching cannot perturb the simulation.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
   /// Hands out machine-unique ports for dynamically bound services
   /// (mpiexec control ports, MPI rank endpoints).
   net::Port allocate_port() { return next_port_++; }
@@ -195,6 +207,7 @@ class Machine {
   net::Network network_;
   SharedFs shared_fs_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  obs::Tracer* tracer_ = nullptr;
   Pid next_pid_ = 1;
   net::Port next_port_ = 10000;
   std::unordered_map<Pid, sim::ActorId> processes_;

@@ -2,15 +2,25 @@
 
 #include <stdexcept>
 
+#include "obs/tracer.hh"
+
 namespace jets::pmi {
 
 sim::Task<std::unique_ptr<PmiClient>> PmiClient::connect(os::Machine& machine,
                                                          os::NodeId node,
                                                          net::Address control,
                                                          int rank, int size) {
+  obs::Tracer* tr = machine.tracer();
+  const std::uint64_t track = obs::track_node(node);
+  obs::ScopedSpan span(tr, "pmi.connect", track);
+  span.attr("rank", static_cast<std::int64_t>(rank));
   net::SocketPtr sock = co_await machine.network().connect(node, control);
   sock->send(net::Message("pmi.init", {std::to_string(rank)}));
-  co_return std::unique_ptr<PmiClient>(new PmiClient(std::move(sock), rank, size));
+  auto client = std::unique_ptr<PmiClient>(
+      new PmiClient(std::move(sock), rank, size));
+  client->tracer_ = tr;
+  client->track_ = track;
+  co_return client;
 }
 
 void PmiClient::put(const std::string& key, const std::string& value) {
@@ -32,6 +42,8 @@ sim::Task<std::string> PmiClient::get(const std::string& key) {
 }
 
 sim::Task<void> PmiClient::barrier() {
+  obs::ScopedSpan span(tracer_, "pmi.barrier", track_);
+  span.attr("rank", static_cast<std::int64_t>(rank_));
   sock_->send(net::Message("pmi.barrier_in", {std::to_string(rank_)}));
   for (;;) {
     auto reply = co_await sock_->recv();

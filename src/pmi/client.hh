@@ -12,8 +12,13 @@
 #include <string>
 
 #include "net/socket.hh"
+#include "obs/span.hh"
 #include "os/machine.hh"
 #include "sim/task.hh"
+
+namespace jets::obs {
+class Tracer;
+}
 
 namespace jets::pmi {
 
@@ -54,6 +59,11 @@ class PmiClient {
   net::SocketPtr sock_;
   int rank_;
   int size_;
+  /// Captured at connect() (barrier() has no machine in scope): the
+  /// machine's tracer, or nullptr, plus the per-node track PMI-phase spans
+  /// ("pmi.connect", "pmi.barrier") are recorded on.
+  obs::Tracer* tracer_ = nullptr;
+  std::uint64_t track_ = 0;
 };
 
 }  // namespace jets::pmi

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/tracer.hh"
 #include "pmi/client.hh"
 
 namespace jets::pmi {
@@ -119,6 +120,7 @@ Mpiexec::Mpiexec(os::Machine& machine, const os::AppRegistry& apps,
 }
 
 Mpiexec::~Mpiexec() {
+  close_spans();  // a torn-down mpiexec must not leave spans dangling open
   launch_timer_.cancel();  // callback captures `this`
   if (control_actor_ != 0) machine_->engine().kill(control_actor_);
   for (sim::ActorId id : handler_actors_) machine_->engine().kill(id);
@@ -134,6 +136,12 @@ void Mpiexec::start() {
   control_addr_ = net::Address{host_, machine_->allocate_port()};
   listener_ = machine_->network().listen(control_addr_);
   control_actor_ = machine_->engine().spawn("mpiexec", control_service());
+  if (obs::Tracer* tr = machine_->tracer()) {
+    span_mpx_ = tr->begin("mpiexec", spec_.trace_track, spec_.trace_parent);
+    tr->attr(span_mpx_, "nprocs", static_cast<std::int64_t>(spec_.nprocs));
+    tr->attr(span_mpx_, "proxies", static_cast<std::int64_t>(proxy_count()));
+    span_launch_ = tr->begin("mpiexec.launch", spec_.trace_track, span_mpx_);
+  }
   if (spec_.launch_timeout > 0) {
     launch_timer_ = machine_->engine().call_in(spec_.launch_timeout, [this] {
       if (launched_ || done()) return;
@@ -199,6 +207,7 @@ void Mpiexec::note_proxy_done(int code) {
   }
   if (proxies_done_ >= proxy_count()) {
     launch_timer_.cancel();
+    close_spans();
     done_gate_->open();
   }
 }
@@ -208,6 +217,10 @@ void Mpiexec::note_launch_progress() {
   if (proxies_wired_ >= proxy_count() && ranks_inited_ >= spec_.nprocs) {
     launched_ = true;
     launch_timer_.cancel();
+    if (obs::Tracer* tr = machine_->tracer()) {
+      tr->end_and_clear(span_launch_);
+      span_run_ = tr->begin("mpiexec.run", spec_.trace_track, span_mpx_);
+    }
   }
 }
 
@@ -222,7 +235,16 @@ void Mpiexec::fail(MpiexecFailKind kind, const std::string& why) {
     failure_reason_ = why;
   }
   launch_timer_.cancel();
+  close_spans();
   done_gate_->open();  // surface the failure immediately; JETS cleans up
+}
+
+void Mpiexec::close_spans() {
+  obs::Tracer* tr = machine_->tracer();
+  if (!tr) return;
+  tr->end_and_clear(span_run_);
+  tr->end_and_clear(span_launch_);
+  tr->end_and_clear(span_mpx_);
 }
 
 sim::Task<void> Mpiexec::control_service() {
@@ -244,13 +266,16 @@ sim::Task<void> Mpiexec::handle_connection(net::SocketPtr sock) {
     if (!m) break;  // EOF
     if (m->tag == "proxy.hello") {
       is_proxy = true;
+      const int proxy_id = std::stoi(m->args.at(0));
       // Bootstrap handling is serialized within one mpiexec and charges
       // the per-proxy setup cost (see MpiexecSpec::proxy_setup_cost).
       {
+        obs::ScopedSpan setup(machine_->tracer(), "mpiexec.proxy_setup",
+                              spec_.trace_track, span_mpx_);
+        setup.attr("proxy", static_cast<std::int64_t>(proxy_id));
         sim::Permit permit = co_await sim::Permit::acquire(*setup_sem_);
         co_await sim::delay(spec_.proxy_setup_cost);
       }
-      const int proxy_id = std::stoi(m->args.at(0));
       const int base = proxy_id * spec_.ranks_per_proxy;
       std::vector<std::string> args{
           std::to_string(spec_.nprocs), std::to_string(spec_.ranks_per_proxy),

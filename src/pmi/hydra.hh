@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "net/socket.hh"
+#include "obs/span.hh"
 #include "os/machine.hh"
 #include "os/program.hh"
 #include "pmi/kvs.hh"
@@ -62,6 +63,14 @@ struct MpiexecSpec {
   /// proxy hung or killed *before wiring completed* otherwise blocks wait()
   /// forever.
   sim::Duration launch_timeout = 0;
+  /// Observability: when a tracer is attached to the machine, this
+  /// mpiexec's spans ("mpiexec", "mpiexec.launch", "mpiexec.run",
+  /// "mpiexec.proxy_setup") are recorded on `trace_track` under
+  /// `trace_parent` — JETS passes its job track and "job.attempt" span so
+  /// launcher time nests inside the job timeline. 0/0 = root spans on
+  /// track 0.
+  std::uint64_t trace_track = 0;
+  obs::SpanId trace_parent = 0;
 };
 
 /// Coarse classification of why an mpiexec run failed, for the scheduler's
@@ -136,6 +145,8 @@ class Mpiexec {
   void note_proxy_done(int code);
   void note_launch_progress();
   void fail(MpiexecFailKind kind, const std::string& why);
+  /// Closes whatever lifecycle spans are still open (done/fail/teardown).
+  void close_spans();
 
   os::Machine* machine_;
   const os::AppRegistry* apps_;
@@ -161,6 +172,12 @@ class Mpiexec {
   std::uint64_t stdout_bytes_ = 0;
   std::unique_ptr<sim::Gate> done_gate_;
   std::string failure_reason_;
+  /// Lifecycle spans (0 = not traced / not open): "mpiexec" covers
+  /// start->done, "mpiexec.launch" start->launch_complete, "mpiexec.run"
+  /// launch_complete->done.
+  obs::SpanId span_mpx_ = 0;
+  obs::SpanId span_launch_ = 0;
+  obs::SpanId span_run_ = 0;
 };
 
 }  // namespace jets::pmi

@@ -13,6 +13,20 @@ void engine_actor_finished(Engine& engine, std::uint64_t actor_id,
 
 Engine::~Engine() { shutdown(); }
 
+// --- Observers ----------------------------------------------------------
+
+void Engine::add_observer(EngineObserver* observer) {
+  assert(observer != nullptr);
+  assert(std::find(observers_.begin(), observers_.end(), observer) ==
+         observers_.end());
+  observers_.push_back(observer);
+}
+
+void Engine::remove_observer(EngineObserver* observer) {
+  auto it = std::find(observers_.begin(), observers_.end(), observer);
+  if (it != observers_.end()) observers_.erase(it);
+}
+
 // --- Event slab --------------------------------------------------------
 
 std::uint32_t Engine::alloc_event_slot() {
@@ -141,7 +155,9 @@ ActorId Engine::spawn(std::string name, Task<void> body) {
   actor.root = body.release();
   actor.root.promise().set_context(actor.ctx.get());
   schedule(now_, Resumption::of(actor.root, actor.ctx.get()));
-  if (observer_) observer_->on_spawn(now_, id, actor.name);
+  for (std::size_t i = 0; i < observers_.size(); ++i) {
+    observers_[i]->on_spawn(now_, id, actor.name);
+  }
   id_to_slot_.emplace(id, slot);
   return id;
 }
@@ -195,13 +211,16 @@ void Engine::destroy_actor_slot(std::uint32_t slot, std::exception_ptr error) {
   as.next_free = free_actors_;
   free_actors_ = slot;
   id_to_slot_.erase(actor.id);
-  if (observer_ && !in_shutdown_) {
+  if (!in_shutdown_) {
     // Finished actors arrive via the finished_ list; everything else
     // reaching here directly is a kill.
-    if (actor.root && actor.root.done()) {
-      observer_->on_finish(now_, actor.id, actor.name);
-    } else {
-      observer_->on_kill(now_, actor.id, actor.name);
+    const bool finished = actor.root && actor.root.done();
+    for (std::size_t i = 0; i < observers_.size(); ++i) {
+      if (finished) {
+        observers_[i]->on_finish(now_, actor.id, actor.name);
+      } else {
+        observers_[i]->on_kill(now_, actor.id, actor.name);
+      }
     }
   }
   if (error) unhandled_errors_.push_back(error);

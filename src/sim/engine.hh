@@ -169,9 +169,17 @@ class Engine {
   /// frame teardown runs while those objects are still alive.
   void shutdown();
 
-  /// Installs (or clears, with nullptr) a lifecycle observer. The observer
-  /// must outlive its registration; shutdown() does not notify.
-  void set_observer(EngineObserver* observer) { observer_ = observer; }
+  /// Registers a lifecycle observer; every registered observer is notified
+  /// in registration order. The observer must stay registered only while it
+  /// is alive — prefer ScopedObserver, which cannot dangle. shutdown() does
+  /// not notify. Double registration is an error (asserted).
+  void add_observer(EngineObserver* observer);
+
+  /// Unregisters a previously added observer; unknown pointers are ignored
+  /// so teardown paths can remove unconditionally.
+  void remove_observer(EngineObserver* observer);
+
+  std::size_t observer_count() const noexcept { return observers_.size(); }
 
   // --- Observability of the event core ----------------------------------
 
@@ -303,8 +311,29 @@ class Engine {
   std::vector<std::pair<ActorId, std::exception_ptr>> finished_;
   std::vector<ActorId> deferred_kills_;
   std::vector<std::exception_ptr> unhandled_errors_;
-  EngineObserver* observer_ = nullptr;
+  // Registered lifecycle observers, notified in registration order. Index
+  // loop (not iterators) in the notify paths: an observer may add/remove
+  // observers from inside a callback.
+  std::vector<EngineObserver*> observers_;
   bool in_shutdown_ = false;
+};
+
+/// RAII observer registration: adds on construction, removes on
+/// destruction, so the observer can never outlive its registration window
+/// (the dangling-pointer footgun of manual attach/detach pairs).
+class ScopedObserver {
+ public:
+  ScopedObserver(Engine& engine, EngineObserver& observer)
+      : engine_(&engine), observer_(&observer) {
+    engine_->add_observer(observer_);
+  }
+  ScopedObserver(const ScopedObserver&) = delete;
+  ScopedObserver& operator=(const ScopedObserver&) = delete;
+  ~ScopedObserver() { engine_->remove_observer(observer_); }
+
+ private:
+  Engine* engine_;
+  EngineObserver* observer_;
 };
 
 inline void TimerHandle::cancel() {

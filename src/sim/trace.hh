@@ -25,8 +25,9 @@ struct TraceEvent {
   std::string name;
 };
 
-/// Recording observer. Attach with engine.set_observer(&log); detach with
-/// engine.set_observer(nullptr) before the log goes out of scope.
+/// Recording observer. Attach with ScopedObserver{engine, log}, whose
+/// destructor detaches before the log can go out of scope; any number of
+/// observers can be registered at once.
 class TraceLog : public EngineObserver {
  public:
   void on_spawn(Time at, ActorId id, const std::string& name) override {

@@ -1,5 +1,7 @@
 #include "swift/coasters.hh"
 
+#include "obs/tracer.hh"
+
 namespace jets::swift {
 
 CoasterService::CoasterService(os::Machine& machine,
@@ -63,6 +65,10 @@ void CoasterService::start_with_blocks(os::BatchScheduler& sched,
 
 sim::Task<core::JobRecord> CoasterService::run_job(core::JobSpec spec) {
   const core::JobId id = service_->submit(std::move(spec));
+  // Bridge-level view of the same job: submit->settle as seen by the
+  // Swift/Coasters caller, on the job's own track.
+  obs::ScopedSpan span(machine_->tracer(), "coasters.job",
+                       obs::track_job(id));
   co_await service_->wait_job(id);
   co_return service_->record(id);
 }

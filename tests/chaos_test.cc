@@ -70,7 +70,7 @@ MatrixOutcome run_matrix(FaultKind kind, bool mpi, std::uint64_t seed = 7) {
   constexpr std::size_t kNodes = 8;
   ChaosBed bed(os::Machine::breadboard(kNodes));
   sim::TraceLog log;
-  bed.engine.set_observer(&log);
+  sim::ScopedObserver attach(bed.engine, log);
 
   StandaloneOptions options;
   options.worker.task_overhead = sim::milliseconds(2);
@@ -122,7 +122,6 @@ MatrixOutcome run_matrix(FaultKind kind, bool mpi, std::uint64_t seed = 7) {
     report = co_await jets.run_batch(std::move(jobs));
   }(jets, chaos, std::move(jobs), out.report));
   bed.engine.run_until(sim::seconds(600));
-  bed.engine.set_observer(nullptr);
 
   EXPECT_LT(bed.engine.now(), sim::seconds(600))
       << "batch did not settle under fault kind " << static_cast<int>(kind);

@@ -1,0 +1,528 @@
+// Trace-based regression suite for the observability layer (src/obs):
+//
+//   * tracer mechanics: begin/end/attr semantics, serialization golden;
+//   * golden span sequences for the quickstart scenario (one sequential +
+//     one MPI job through stand-alone JETS);
+//   * nesting and attribute invariants over a mixed workload;
+//   * determinism: two same-seed chaos runs produce byte-identical span
+//     streams;
+//   * zero-cost-off: tracing must not perturb the simulation (same clock,
+//     same event count, traced or not);
+//   * Chrome trace-event export: every B has a matching E, per-(pid,tid)
+//     sequences are stack-valid, timestamps are globally monotonic.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/synthetic.hh"
+#include "core/chaos.hh"
+#include "core/standalone.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/phase_table.hh"
+#include "obs/tracer.hh"
+#include "testbed.hh"
+
+namespace jets {
+namespace {
+
+using obs::Span;
+using obs::SpanId;
+using obs::Tracer;
+
+// --- Tracer mechanics --------------------------------------------------------
+
+TEST(Tracer, RecordsNestedSpansWithEngineTimestamps) {
+  sim::Engine e;
+  Tracer t(e);
+  SpanId outer = 0;
+  SpanId inner = 0;
+  e.call_at(10, [&] { outer = t.begin("outer", 1); });
+  e.call_at(20, [&] {
+    inner = t.begin("inner", 1, outer);
+    t.attr(inner, "k", "v");
+  });
+  e.call_at(30, [&] { t.end(inner); });
+  e.call_at(40, [&] { t.end(outer); });
+  e.run();
+
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.open_spans(), 0u);
+  const Span& o = t.spans()[0];
+  EXPECT_EQ(o.id, 1u);
+  EXPECT_EQ(o.parent, 0u);
+  EXPECT_EQ(o.begin, 10);
+  EXPECT_EQ(o.end, 40);
+  const Span& i = t.spans()[1];
+  EXPECT_EQ(i.parent, outer);
+  EXPECT_EQ(i.begin, 20);
+  EXPECT_EQ(i.end, 30);
+  EXPECT_EQ(i.duration(), 10);
+  EXPECT_EQ(t.serialize(),
+            "1 0 1 10 40 outer\n"
+            "2 1 1 20 30 inner k=v\n");
+}
+
+TEST(Tracer, EndIsIdempotentAndUnknownIdsAreIgnored) {
+  sim::Engine e;
+  Tracer t(e);
+  SpanId s = t.begin("phase");
+  t.end(s);
+  const sim::Time first_end = t.spans()[0].end;
+  t.end(s);     // already closed: no-op
+  t.end(0);     // null id: no-op
+  t.end(999);   // unknown id: no-op
+  EXPECT_EQ(t.spans()[0].end, first_end);
+  EXPECT_EQ(t.open_spans(), 0u);
+
+  SpanId cleared = t.begin("other");
+  t.end_and_clear(cleared);
+  EXPECT_EQ(cleared, 0u);
+  EXPECT_EQ(t.open_spans(), 0u);
+  t.end_and_clear(cleared);  // now a null id: still a no-op
+}
+
+TEST(Tracer, ScopedSpanIsNoOpWithoutTracerAndClosesOnDestruction) {
+  {
+    obs::ScopedSpan none(nullptr, "ignored");
+    none.attr("k", "v");  // must not crash
+    EXPECT_EQ(none.id(), 0u);
+  }
+
+  sim::Engine e;
+  Tracer t(e);
+  {
+    obs::ScopedSpan s(&t, "scoped", 7);
+    s.attr("n", std::int64_t{42});
+    EXPECT_EQ(t.open_spans(), 1u);
+    obs::ScopedSpan moved = std::move(s);
+    EXPECT_EQ(t.open_spans(), 1u);  // moved-from must not double-close
+  }
+  EXPECT_EQ(t.open_spans(), 0u);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.spans()[0].track, 7u);
+  ASSERT_EQ(t.spans()[0].attrs.size(), 1u);
+  EXPECT_EQ(t.spans()[0].attrs[0].value, "42");
+}
+
+// --- Quickstart scenario -----------------------------------------------------
+
+struct ObsBed : test::TestBed {
+  Tracer tracer{engine};
+
+  explicit ObsBed(os::MachineSpec spec, bool traced = true)
+      : TestBed(std::move(spec)) {
+    apps::install_synthetic_apps(apps);
+    machine.shared_fs().put("sleep", 16'384);
+    machine.shared_fs().put("mpi_sleep", 1'500'000);
+    if (traced) machine.set_tracer(&tracer);
+  }
+
+  static std::vector<os::NodeId> nodes(std::size_t n) {
+    std::vector<os::NodeId> v;
+    for (std::size_t i = 0; i < n; ++i) v.push_back(static_cast<os::NodeId>(i));
+    return v;
+  }
+};
+
+core::JobSpec seq_job(std::vector<std::string> argv) {
+  core::JobSpec s;
+  s.argv = std::move(argv);
+  return s;
+}
+
+core::JobSpec mpi_job(int nprocs, std::vector<std::string> argv) {
+  core::JobSpec s;
+  s.kind = core::JobKind::kMpi;
+  s.nprocs = nprocs;
+  s.argv = std::move(argv);
+  return s;
+}
+
+/// The quickstart: one sequential and one 2-proc MPI job through
+/// stand-alone JETS on a two-node breadboard.
+core::BatchReport run_quickstart(ObsBed& bed) {
+  core::StandaloneOptions options;
+  options.worker.task_overhead = sim::milliseconds(2);
+  options.worker.stage_files = {pmi::kProxyBinary, "sleep", "mpi_sleep"};
+  core::StandaloneJets jets(bed.machine, bed.apps, options);
+  jets.start(ObsBed::nodes(2));
+  std::vector<core::JobSpec> jobs{seq_job({"sleep", "1"}),
+                                  mpi_job(2, {"mpi_sleep", "1"})};
+  core::BatchReport report;
+  bed.engine.spawn("driver",
+                   [](core::StandaloneJets& jets,
+                      std::vector<core::JobSpec> jobs,
+                      core::BatchReport& out) -> sim::Task<void> {
+                     co_await jets.wait_workers();
+                     out = co_await jets.run_batch(std::move(jobs));
+                   }(jets, std::move(jobs), report));
+  bed.engine.run();
+  return report;
+}
+
+std::vector<std::string> names_on_track(const Tracer& t, std::uint64_t track) {
+  std::vector<std::string> names;
+  for (const Span& s : t.spans()) {
+    if (s.track == track) names.push_back(s.name);
+  }
+  return names;
+}
+
+std::optional<std::string> attr_of(const Span& s, const std::string& key) {
+  for (const auto& a : s.attrs) {
+    if (a.key == key) return a.value;
+  }
+  return std::nullopt;
+}
+
+TEST(ObsGolden, QuickstartSequentialJobSpanSequence) {
+  ObsBed bed(os::Machine::breadboard(2));
+  core::BatchReport report = run_quickstart(bed);
+  ASSERT_EQ(report.completed, 2u);
+
+  // Job 1 is the sequential job; its lifecycle track carries exactly the
+  // queued -> attempt(group -> run) phases, in begin order.
+  const std::vector<std::string> golden{"job", "job.queued", "job.attempt",
+                                        "job.group", "job.run"};
+  EXPECT_EQ(names_on_track(bed.tracer, obs::track_job(1)), golden);
+}
+
+TEST(ObsGolden, QuickstartMpiJobSpanSequence) {
+  ObsBed bed(os::Machine::breadboard(2));
+  core::BatchReport report = run_quickstart(bed);
+  ASSERT_EQ(report.completed, 2u);
+
+  // Job 2 is the 2-proc MPI job: the service phases plus the background
+  // mpiexec's launch decomposition ride the same track. job.run opens at
+  // dispatch fan-out completion, before the proxies dial back (their setup
+  // spans land inside the launch window).
+  const std::vector<std::string> golden{
+      "job",           "job.queued",          "job.attempt",
+      "job.group",     "mpiexec",             "mpiexec.launch",
+      "job.run",       "mpiexec.proxy_setup", "mpiexec.proxy_setup",
+      "mpiexec.run"};
+  EXPECT_EQ(names_on_track(bed.tracer, obs::track_job(2)), golden);
+}
+
+TEST(ObsGolden, QuickstartNodeTracksCarryWorkerAndPmiSpans) {
+  ObsBed bed(os::Machine::breadboard(2));
+  run_quickstart(bed);
+
+  // Node-side spans (worker staging/tasks, PMI connect/barrier) live on
+  // node tracks, never on job tracks; every PMI rank connects and passes
+  // at least one barrier.
+  std::size_t connects = 0;
+  std::size_t barriers = 0;
+  std::size_t stages = 0;
+  for (const Span& s : bed.tracer.spans()) {
+    if (s.name == "worker.stage") {
+      ++stages;
+      EXPECT_GE(s.track, obs::kNodeTrackBase);
+    }
+    if (s.name == "pmi.connect") {
+      ++connects;
+      EXPECT_GE(s.track, obs::kNodeTrackBase);
+    }
+    if (s.name == "pmi.barrier") {
+      ++barriers;
+      EXPECT_GE(s.track, obs::kNodeTrackBase);
+    }
+  }
+  EXPECT_EQ(stages, 2u);    // one per pilot
+  EXPECT_EQ(connects, 2u);  // one per MPI rank
+  EXPECT_GE(barriers, 2u);
+}
+
+TEST(ObsGolden, SameQuickstartTwiceProducesIdenticalStreams) {
+  ObsBed a(os::Machine::breadboard(2));
+  ObsBed b(os::Machine::breadboard(2));
+  run_quickstart(a);
+  run_quickstart(b);
+  EXPECT_FALSE(a.tracer.serialize().empty());
+  EXPECT_EQ(a.tracer.serialize(), b.tracer.serialize());
+}
+
+// --- Nesting and attribute invariants ----------------------------------------
+
+TEST(ObsInvariants, SpansCloseNestAndCarryAttributes) {
+  ObsBed bed(os::Machine::breadboard(4));
+  core::StandaloneOptions options;
+  options.worker.task_overhead = sim::milliseconds(2);
+  options.worker.stage_files = {pmi::kProxyBinary, "sleep", "mpi_sleep"};
+  core::StandaloneJets jets(bed.machine, bed.apps, options);
+  jets.start(ObsBed::nodes(4));
+  std::vector<core::JobSpec> jobs;
+  for (int i = 0; i < 4; ++i) jobs.push_back(seq_job({"sleep", "1"}));
+  for (int i = 0; i < 3; ++i) jobs.push_back(mpi_job(2, {"mpi_sleep", "1"}));
+  core::BatchReport report;
+  bed.engine.spawn("driver",
+                   [](core::StandaloneJets& jets,
+                      std::vector<core::JobSpec> jobs,
+                      core::BatchReport& out) -> sim::Task<void> {
+                     co_await jets.wait_workers();
+                     out = co_await jets.run_batch(std::move(jobs));
+                   }(jets, std::move(jobs), report));
+  bed.engine.run();
+  ASSERT_EQ(report.completed, 7u);
+
+  // Every span closed once the workload settled.
+  EXPECT_EQ(bed.tracer.open_spans(), 0u);
+
+  const auto& spans = bed.tracer.spans();
+  for (const Span& s : spans) {
+    ASSERT_TRUE(s.closed()) << s.name;
+    EXPECT_GE(s.end, s.begin) << s.name;
+    if (s.parent == 0) continue;
+    // Parents begin first (ids are begin-ordered), share the child's
+    // track, and contain the child's interval.
+    ASSERT_LT(s.parent, s.id) << s.name;
+    const Span& p = spans[s.parent - 1];
+    EXPECT_EQ(p.track, s.track) << s.name << " under " << p.name;
+    EXPECT_LE(p.begin, s.begin) << s.name << " under " << p.name;
+    EXPECT_GE(p.end, s.end) << s.name << " under " << p.name;
+  }
+
+  // Attribute contract: every job span records kind/nprocs/status; every
+  // attempt span records its 1-based attempt number and exit status.
+  for (const Span& s : spans) {
+    if (s.name == "job") {
+      EXPECT_TRUE(attr_of(s, "kind").has_value());
+      EXPECT_TRUE(attr_of(s, "nprocs").has_value());
+      EXPECT_EQ(attr_of(s, "status").value_or(""), "done");
+    }
+    if (s.name == "job.attempt") {
+      auto attempt = attr_of(s, "attempt");
+      ASSERT_TRUE(attempt.has_value());
+      EXPECT_GE(std::stoi(*attempt), 1);
+      EXPECT_TRUE(attr_of(s, "status").has_value());
+    }
+  }
+}
+
+// --- Determinism under chaos -------------------------------------------------
+
+/// A kill-fault run (fig10-style, scaled down) returning its span stream.
+std::string chaos_trace(std::uint64_t seed) {
+  ObsBed bed(os::Machine::breadboard(4));
+  core::StandaloneOptions options;
+  options.worker.task_overhead = sim::milliseconds(2);
+  options.worker.stage_files = {pmi::kProxyBinary, "sleep", "mpi_sleep"};
+  options.service.retry.max_attempts = 10;
+  options.worker.heartbeat_interval = sim::milliseconds(500);
+  options.service.worker_liveness_timeout = sim::seconds(2);
+  auto registry = std::make_shared<core::WorkerHangRegistry>();
+  options.worker.hang_registry = registry;
+  core::StandaloneJets jets(bed.machine, bed.apps, options);
+  jets.start(ObsBed::nodes(4));
+
+  std::vector<core::JobSpec> jobs;
+  for (int i = 0; i < 8; ++i) {
+    jobs.push_back(i % 3 == 2 ? mpi_job(2, {"mpi_sleep", "2"})
+                              : seq_job({"sleep", "2"}));
+  }
+
+  core::ChaosEngine chaos(bed.machine, sim::Rng(seed));
+  chaos.set_pilots(jets.worker_pids());
+  chaos.set_hang_registry(registry);
+  chaos.add_periodic(core::FaultKind::kKillPilot, sim::seconds(3),
+                     sim::seconds(3), 2);
+
+  bed.engine.spawn("driver",
+                   [](core::StandaloneJets& jets, core::ChaosEngine& chaos,
+                      std::vector<core::JobSpec> jobs) -> sim::Task<void> {
+                     co_await jets.wait_workers();
+                     chaos.start();
+                     co_await jets.run_batch(std::move(jobs));
+                   }(jets, chaos, std::move(jobs)));
+  bed.engine.run_until(sim::seconds(600));
+  EXPECT_LT(bed.engine.now(), sim::seconds(600));
+  return bed.tracer.serialize();
+}
+
+TEST(ObsDeterminism, SameSeedChaosRunsProduceIdenticalSpanStreams) {
+  const std::string a = chaos_trace(11);
+  const std::string b = chaos_trace(11);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+// --- Zero-cost when no sink is attached --------------------------------------
+
+TEST(ObsZeroCost, TracingDoesNotPerturbTheSimulation) {
+  ObsBed traced(os::Machine::breadboard(2), /*traced=*/true);
+  ObsBed untraced(os::Machine::breadboard(2), /*traced=*/false);
+  run_quickstart(traced);
+  run_quickstart(untraced);
+
+  EXPECT_GT(traced.tracer.size(), 0u);
+  EXPECT_EQ(untraced.tracer.size(), 0u);
+  // Identical clock and event count: span recording reads time, never
+  // schedules, so a traced run executes the exact same event sequence.
+  EXPECT_EQ(traced.engine.now(), untraced.engine.now());
+  EXPECT_EQ(traced.engine.events_executed(), untraced.engine.events_executed());
+}
+
+// --- Chrome trace export -----------------------------------------------------
+
+struct ChromeEvent {
+  std::string name;
+  char ph = '?';
+  std::string pid;
+  std::string tid;
+  double ts = 0.0;
+};
+
+/// Parses one of our one-object-per-line trace events. The exporter never
+/// escapes within names/ids we emit, so scan-to-delimiter is exact.
+ChromeEvent parse_event(const std::string& line) {
+  ChromeEvent ev;
+  auto grab = [&](const std::string& key, char delim) -> std::string {
+    const std::string pat = "\"" + key + "\":";
+    const auto at = line.find(pat);
+    EXPECT_NE(at, std::string::npos) << key << " missing in " << line;
+    if (at == std::string::npos) return "";
+    auto from = at + pat.size();
+    if (line[from] == '"') ++from;  // string-valued field
+    auto to = line.find(delim, from);
+    return line.substr(from, to - from);
+  };
+  ev.name = grab("name", '"');
+  const std::string ph = grab("ph", '"');
+  ev.ph = ph.empty() ? '?' : ph[0];
+  ev.pid = grab("pid", ',');
+  ev.tid = grab("tid", ',');
+  const std::string ts = grab("ts", ',');
+  ev.ts = ts.empty() ? 0.0 : std::stod(ts.substr(0, ts.find('}')));
+  return ev;
+}
+
+std::vector<ChromeEvent> parse_trace(const std::string& json) {
+  std::vector<ChromeEvent> events;
+  std::size_t pos = 0;
+  while (pos < json.size()) {
+    auto eol = json.find('\n', pos);
+    if (eol == std::string::npos) eol = json.size();
+    const std::string line = json.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.rfind("{\"name\":", 0) == 0) events.push_back(parse_event(line));
+  }
+  return events;
+}
+
+TEST(ChromeTrace, EveryBeginHasAnEndAndTimestampsAreMonotonic) {
+  ObsBed bed(os::Machine::breadboard(2));
+  run_quickstart(bed);
+
+  const std::string json = obs::chrome_trace_json(bed.tracer);
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[\n", 0), 0u);
+  EXPECT_EQ(json.substr(json.size() - 3), "]}\n");
+
+  const std::vector<ChromeEvent> events = parse_trace(json);
+  ASSERT_FALSE(events.empty());
+
+  // One B and one E per closed span.
+  std::size_t begins = 0;
+  for (const auto& e : events) begins += e.ph == 'B' ? 1 : 0;
+  EXPECT_EQ(begins, bed.tracer.size());
+  EXPECT_EQ(events.size(), bed.tracer.size() * 2);
+
+  // Global monotonicity and per-(pid,tid) stack discipline: every E closes
+  // the innermost open B of its lane, by name.
+  std::map<std::pair<std::string, std::string>, std::vector<std::string>>
+      lanes;
+  double last_ts = -1.0;
+  for (const auto& e : events) {
+    EXPECT_GE(e.ts, last_ts);
+    last_ts = e.ts;
+    auto& stack = lanes[{e.pid, e.tid}];
+    if (e.ph == 'B') {
+      stack.push_back(e.name);
+    } else {
+      ASSERT_EQ(e.ph, 'E');
+      ASSERT_FALSE(stack.empty()) << "E without open B for " << e.name;
+      EXPECT_EQ(stack.back(), e.name);
+      stack.pop_back();
+    }
+  }
+  for (const auto& [lane, stack] : lanes) {
+    EXPECT_TRUE(stack.empty()) << "unclosed B in lane " << lane.first;
+  }
+}
+
+TEST(ChromeTrace, OpenSpansAreSkippedAndArgsRideTheBeginEvent) {
+  sim::Engine e;
+  Tracer t(e);
+  SpanId done = 0;
+  e.call_at(5, [&] {
+    done = t.begin("closed.phase", 3);
+    t.attr(done, "key", "value \"quoted\"");
+    t.begin("left.open", 3);  // never ended: must not be exported
+  });
+  e.call_at(9, [&] { t.end(done); });
+  e.run();
+
+  const std::string json = obs::chrome_trace_json(t);
+  EXPECT_EQ(json.find("left.open"), std::string::npos);
+  // Escaped attr payload on the B event only.
+  EXPECT_NE(json.find("\"args\":{\"key\":\"value \\\"quoted\\\"\"}"),
+            std::string::npos);
+  const std::vector<ChromeEvent> events = parse_trace(json);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].ph, 'B');
+  EXPECT_EQ(events[1].ph, 'E');
+  // ns -> µs with three decimals: 5 ns = 0.005 µs.
+  EXPECT_DOUBLE_EQ(events[0].ts, 0.005);
+  EXPECT_DOUBLE_EQ(events[1].ts, 0.009);
+}
+
+// --- Phase table -------------------------------------------------------------
+
+TEST(PhaseTable, AggregatesCanonicalPhasesFromATracedRun) {
+  ObsBed bed(os::Machine::breadboard(2));
+  run_quickstart(bed);
+
+  obs::PhaseTable table;
+  table.absorb(bed.tracer);
+  const auto& rows = table.rows();
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0].phase, "queue");
+  EXPECT_EQ(rows[1].phase, "group");
+  EXPECT_EQ(rows[2].phase, "launch");
+  EXPECT_EQ(rows[3].phase, "pmi");
+  EXPECT_EQ(rows[4].phase, "run");
+  EXPECT_EQ(rows[0].count, 2u);  // both jobs queued once
+  EXPECT_EQ(rows[2].count, 1u);  // one mpiexec launch
+  EXPECT_GE(rows[3].count, 2u);  // both ranks hit the PMI barrier
+  EXPECT_EQ(rows[4].count, 2u);  // both jobs ran
+  for (const auto& r : rows) {
+    EXPECT_LE(r.min, r.max);
+    EXPECT_LE(r.max, r.total);
+  }
+
+  // Every rendered line is '# obs '-prefixed so series parsers skip it.
+  const std::string rendered = table.render();
+  std::size_t pos = 0;
+  std::size_t lines = 0;
+  while (pos < rendered.size()) {
+    EXPECT_EQ(rendered.compare(pos, 6, "# obs "), 0);
+    pos = rendered.find('\n', pos) + 1;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 6u);  // header + five rows
+
+  // merge() doubles the counts.
+  obs::PhaseTable twice;
+  twice.absorb(bed.tracer);
+  twice.merge(table);
+  EXPECT_EQ(twice.rows()[0].count, 4u);
+  EXPECT_EQ(twice.rows()[0].total, 2 * rows[0].total);
+}
+
+}  // namespace
+}  // namespace jets

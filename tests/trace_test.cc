@@ -13,14 +13,13 @@ namespace {
 TEST(TraceLog, RecordsSpawnFinishKill) {
   Engine e;
   TraceLog log;
-  e.set_observer(&log);
+  ScopedObserver attach(e, log);
   ActorId quick = e.spawn("quick", []() -> Task<void> { co_return; }());
   ActorId victim = e.spawn("victim", []() -> Task<void> {
     co_await delay(seconds(100));
   }());
   e.call_at(seconds(1), [&e, victim] { e.kill(victim); });
   e.run();
-  e.set_observer(nullptr);
 
   EXPECT_EQ(log.count(TraceEvent::Kind::kSpawn), 2u);
   EXPECT_EQ(log.count(TraceEvent::Kind::kFinish), 1u);
@@ -39,7 +38,7 @@ TEST(TraceLog, ObserverSeesBalancedChurnThroughJets) {
   apps::install_synthetic_apps(bed.apps);
   bed.machine.shared_fs().put("mpi_sleep", 1'000'000);
   TraceLog log;
-  bed.engine.set_observer(&log);
+  ScopedObserver attach(bed.engine, log);
 
   core::StandaloneOptions opts;
   opts.worker.task_overhead = milliseconds(2);
@@ -56,7 +55,6 @@ TEST(TraceLog, ObserverSeesBalancedChurnThroughJets) {
     (void)co_await jets.run_batch(std::move(jobs));
   }(jets, std::move(jobs)));
   bed.engine.run();
-  bed.engine.set_observer(nullptr);
 
   // 10 MPI jobs x (2 proxies + 2 ranks + 2 PMI reapers...) — the exact
   // count is an implementation detail; the invariants are not:
@@ -77,6 +75,48 @@ TEST(TraceLog, ObserverSeesBalancedChurnThroughJets) {
   }
   EXPECT_EQ(spawned, ended);
   EXPECT_EQ(spawned, 20u);  // 10 jobs x 2 proxies
+}
+
+TEST(TraceLog, MultipleObserversAllSeeEveryEvent) {
+  Engine e;
+  TraceLog first, second;
+  ScopedObserver a(e, first);
+  {
+    ScopedObserver b(e, second);
+    EXPECT_EQ(e.observer_count(), 2u);
+    e.spawn("one", []() -> Task<void> { co_return; }());
+    e.run();
+    // Both observers saw the same stream, in the same order.
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+      EXPECT_EQ(first.events()[i].kind, second.events()[i].kind);
+      EXPECT_EQ(first.events()[i].actor, second.events()[i].actor);
+    }
+  }
+  // `second` detached by scope exit; only `first` keeps recording.
+  EXPECT_EQ(e.observer_count(), 1u);
+  const std::size_t before = second.size();
+  e.spawn("two", []() -> Task<void> { co_return; }());
+  e.run();
+  EXPECT_EQ(second.size(), before);
+  EXPECT_EQ(first.count(TraceEvent::Kind::kSpawn), 2u);
+  EXPECT_EQ(first.count(TraceEvent::Kind::kFinish), 2u);
+}
+
+TEST(TraceLog, ScopedObserverDetachesBeforeLogDies) {
+  // The trace.hh footgun this API removes: a log that dies before the
+  // engine must not leave a dangling observer pointer behind.
+  Engine e;
+  {
+    TraceLog log;
+    ScopedObserver attach(e, log);
+    e.spawn("a", []() -> Task<void> { co_return; }());
+    e.run();
+    EXPECT_EQ(log.count(TraceEvent::Kind::kFinish), 1u);
+  }
+  EXPECT_EQ(e.observer_count(), 0u);
+  e.spawn("b", []() -> Task<void> { co_return; }());
+  e.run();  // would crash (ASan: use-after-scope) if the pointer lingered
 }
 
 TEST(ChurnStress, ThousandsOfShortProcessesLeaveNoResidue) {
