@@ -14,8 +14,15 @@ using namespace jets;
 
 namespace {
 
-double jets_rate(std::size_t alloc_nodes, int tasks_per_slot,
-                 bench::TraceSession& trace) {
+struct RatePoint {
+  std::size_t workers = 0;
+  std::size_t jobs = 0;
+  double makespan_s = 0.0;
+  double rate = 0.0;  // completed tasks per second of makespan
+};
+
+RatePoint jets_rate_point(std::size_t alloc_nodes, int tasks_per_slot,
+                          bench::TraceSession& trace) {
   bench::Bed bed(os::Machine::surveyor(alloc_nodes));
   trace.attach(bed);
   auto options = bench::surveyor_options(/*workers_per_node=*/4);
@@ -31,7 +38,17 @@ double jets_rate(std::size_t alloc_nodes, int tasks_per_slot,
     report = co_await jets.run_batch(jobs);
   });
   trace.finish();
-  return static_cast<double>(report.completed) / report.makespan_seconds();
+  RatePoint p;
+  p.workers = slots;
+  p.jobs = jobs.size();
+  p.makespan_s = report.makespan_seconds();
+  p.rate = static_cast<double>(report.completed) / p.makespan_s;
+  return p;
+}
+
+double jets_rate(std::size_t alloc_nodes, int tasks_per_slot,
+                 bench::TraceSession& trace) {
+  return jets_rate_point(alloc_nodes, tasks_per_slot, trace).rate;
 }
 
 /// The "ideal" point: a single node forking no-ops on its 4 cores with no
@@ -73,5 +90,22 @@ int main() {
     std::printf("%-8zu %-8zu %.0f\n", nodes, nodes * 4, rate);
   }
   trace.report();
+  // Large-N sweep (JETS_LARGE_N): the paper stops at one rack, but the
+  // scale tests push the same hot path to 10^4..10^6 workers with ~2
+  // no-op tasks each. Rows are '#'-prefixed key=value so bench.sh can
+  // fold them into BENCH_sim.json; with the variable unset this block is
+  // inert and the output above is byte-identical to the golden manifest.
+  if (const int max_exp = bench::large_n_exponent(); max_exp > 0) {
+    std::printf("# large-N launch-rate series (workers = 4/node, 2 tasks/slot)\n");
+    bench::TraceSession large_trace;
+    std::size_t workers = 10'000;
+    for (int exp = 4; exp <= max_exp; ++exp, workers *= 10) {
+      const auto p = jets_rate_point(workers / 4, /*tasks_per_slot=*/2,
+                                     large_trace);
+      std::printf("# largeN workers=%zu jobs=%zu tasks_per_s=%.0f "
+                  "makespan_s=%.2f\n",
+                  p.workers, p.jobs, p.rate, p.makespan_s);
+    }
+  }
   return 0;
 }

@@ -189,4 +189,17 @@ inline void figure_header(const char* id, const char* title,
   std::printf("# paper: %s\n", paper_shape);
 }
 
+/// JETS_LARGE_N: opt-in scale sweep far past the paper's rack. Returns the
+/// largest worker-count exponent to run (10^4 .. 10^e), clamped to
+/// [4, `max_exp`]; 0 when the variable is unset, so the default output —
+/// and the golden manifest hashes — stay byte-identical. A bare or
+/// non-numeric value means "the standard sweep", 10^5.
+inline int large_n_exponent(int max_exp = 6) {
+  const char* env = std::getenv("JETS_LARGE_N");
+  if (env == nullptr) return 0;
+  int e = std::atoi(env);
+  if (e < 4) e = 5;
+  return e < max_exp ? e : max_exp;
+}
+
 }  // namespace jets::bench

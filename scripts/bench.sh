@@ -33,10 +33,10 @@ echo "== micro suite (google-benchmark) =="
   --benchmark_format=json \
   --benchmark_min_time=0.2 > "$micro_json"
 
-wall_ns() {  # wall-clock of one figure bench, output discarded
+wall_ns() {  # wall-clock of one figure bench at default scale, output discarded
   local t0 t1
   t0=$(date +%s%N)
-  "$1" > /dev/null
+  env -u JETS_LARGE_N "$1" > /dev/null
   t1=$(date +%s%N)
   echo $((t1 - t0))
 }
@@ -58,15 +58,42 @@ echo "== figure benches (wall clock) =="
 fig06_ns=$(wall_ns "$BUILD/bench/fig06_seq_rate")
 fig09_ns=$(wall_ns "$BUILD/bench/fig09_bgp_util")
 
+# Large-N launch-rate series (the tentpole metric): run fig06 through 10^5
+# workers and fig13 at 10^4 by default — '# largeN key=value' rows are the
+# machine-readable series. JETS_BENCH_LARGE_N=6 cranks fig06 to the
+# million-worker point (~80 s extra on a fast host).
+large_exp="${JETS_BENCH_LARGE_N:-5}"
+echo "== large-N launch-rate series (JETS_LARGE_N=$large_exp) =="
+large_n_txt="$trace_dir/large_n.txt"
+JETS_LARGE_N="$large_exp" "$BUILD/bench/fig06_seq_rate" \
+  | sed -n 's/^# largeN /fig06 /p' > "$large_n_txt"
+JETS_LARGE_N=4 "$BUILD/bench/fig13_load_level" \
+  | sed -n 's/^# largeN /fig13 /p' >> "$large_n_txt"
+cat "$large_n_txt"
+
 commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 date_iso=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 
-entry=$(python3 - "$micro_json" "$commit" "$date_iso" "$fig06_ns" "$fig09_ns" <<'PY'
+entry=$(python3 - "$micro_json" "$commit" "$date_iso" "$fig06_ns" "$fig09_ns" \
+        "$large_n_txt" <<'PY'
 import json, platform, sys
 
-micro_path, commit, date_iso, fig06_ns, fig09_ns = sys.argv[1:6]
+micro_path, commit, date_iso, fig06_ns, fig09_ns, large_n_path = sys.argv[1:7]
 with open(micro_path) as f:
     micro = json.load(f)
+
+# Rows: "<bench> workers=N jobs=N tasks_per_s=R makespan_s=S [utilization=U]"
+large_n = []
+with open(large_n_path) as f:
+    for line in f:
+        toks = line.split()
+        if not toks:
+            continue
+        point = {"bench": toks[0]}
+        for kv in toks[1:]:
+            k, _, v = kv.partition("=")
+            point[k] = int(v) if k in ("workers", "jobs") else float(v)
+        large_n.append(point)
 
 benches = {}
 for b in micro.get("benchmarks", []):
@@ -88,6 +115,7 @@ entry = {
         "fig06_seq_rate": int(fig06_ns),
         "fig09_bgp_util": int(fig09_ns),
     },
+    "large_n": large_n,
     "micro": benches,
 }
 print(json.dumps(entry, indent=2))

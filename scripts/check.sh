@@ -6,16 +6,20 @@
 #   scripts/check.sh --all      # both of the above
 #
 # The default preset run is the ROADMAP tier-1 gate: every ctest entry
-# (labels unit, property, chaos, retry, obs) must pass, and the
+# (labels unit, property, chaos, retry, obs, scale) must pass, and the
 # determinism smoke re-runs fig06_seq_rate twice and byte-diffs the
 # output — the engine's event order must be a pure function of the
 # inputs — then re-runs it with JETS_TRACE=1 and checks that, with the
 # '# obs' report lines stripped, the traced output is byte-identical to
-# the untraced run (tracing must not perturb the simulation). The
-# sanitizer pass re-runs the fault-heavy suites (-L chaos and -L retry)
-# plus the property suites, the observability suite (-L obs), and the
-# engine/sync tests, which exercise the event-slab allocator's recycling
-# paths hardest.
+# the untraced run (tracing must not perturb the simulation). On top of
+# that, scheduler_equiv.sh replays all 15 figure benches against the
+# committed golden manifest (hot-path refactors must not move a byte),
+# and the scale suite re-runs at 10^5 workers — release build only,
+# under a wall-clock budget. The sanitizer pass re-runs the fault-heavy
+# suites (-L chaos and -L retry) plus the property suites (including the
+# SoA-table churn differentials), the scale suite at its small default N,
+# the observability suite (-L obs), and the engine/sync tests, which
+# exercise the slab allocators' recycling paths hardest.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -60,6 +64,13 @@ if [[ "$run_default" == 1 ]]; then
     exit 1
   fi
   echo "tracing smoke: OK"
+
+  echo "== scheduler equivalence: 15 figures vs golden manifest =="
+  ./scripts/scheduler_equiv.sh build
+
+  echo "== scale suite at 10^5 workers (release build, 10 min budget) =="
+  JETS_SCALE_N=100000 timeout 600 ./build/tests/scale_test
+  echo "large-N scale suite: OK"
 fi
 
 if [[ "$run_asan" == 1 ]]; then
@@ -69,6 +80,7 @@ if [[ "$run_asan" == 1 ]]; then
   ctest --preset asan-ubsan --no-tests=error -L chaos -j "$(nproc)"
   ctest --preset asan-ubsan --no-tests=error -L retry -j "$(nproc)"
   ctest --preset asan-ubsan --no-tests=error -L property -j "$(nproc)"
+  ctest --preset asan-ubsan --no-tests=error -L scale -j "$(nproc)"
   ctest --preset asan-ubsan --no-tests=error -L obs -j "$(nproc)"
   ctest --preset asan-ubsan --no-tests=error -j "$(nproc)" \
     -R '^(Engine|Channel|Semaphore|Gate|Time|Rng)\.'

@@ -31,6 +31,35 @@ const char* to_string(FailureReason reason) {
   return "unknown";
 }
 
+std::uint64_t record_digest(const JobRecord& rec) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(rec.id);
+  mix(static_cast<std::uint64_t>(rec.status));
+  mix(static_cast<std::uint64_t>(rec.attempts));
+  mix(static_cast<std::uint64_t>(rec.app_failures));
+  mix(static_cast<std::uint64_t>(rec.infra_failures));
+  mix(static_cast<std::uint64_t>(rec.last_reason));
+  mix(static_cast<std::uint64_t>(rec.submitted_at));
+  mix(static_cast<std::uint64_t>(rec.started_at));
+  mix(static_cast<std::uint64_t>(rec.finished_at));
+  for (const AttemptRecord& att : rec.history) {
+    mix(static_cast<std::uint64_t>(att.attempt));
+    mix(static_cast<std::uint64_t>(att.started_at));
+    mix(static_cast<std::uint64_t>(att.ended_at));
+    mix(static_cast<std::uint64_t>(att.exit_status));
+    mix(static_cast<std::uint64_t>(att.reason));
+    mix(static_cast<std::uint64_t>(att.backoff));
+  }
+  for (net::NodeId node : rec.nodes) mix(static_cast<std::uint64_t>(node));
+  return h;
+}
+
 std::vector<JobSpec> parse_job_list(const std::string& text, int default_ppn) {
   if (default_ppn < 1) throw std::invalid_argument("ppn must be >= 1");
   std::vector<JobSpec> jobs;

@@ -162,6 +162,13 @@ struct JobRecord {
   }
 };
 
+/// FNV-1a digest of one record's observable schedule: status, attempt and
+/// failure accounting, the placement's nodes, and every timestamp. Golden
+/// state hashes for determinism checks — two same-seed runs must produce
+/// identical digests job for job (tests/scale_test.cc folds them into one
+/// run hash).
+std::uint64_t record_digest(const JobRecord& rec);
+
 /// Parses the stand-alone input format. Blank lines and '#' comments are
 /// skipped. Throws std::invalid_argument on malformed lines.
 std::vector<JobSpec> parse_job_list(const std::string& text, int default_ppn = 1);

@@ -31,6 +31,7 @@ Service::Service(os::Machine& machine, const os::AppRegistry& apps,
   kick_ch_ = std::make_unique<sim::Channel<int>>(machine.engine());
   all_done_ = std::make_unique<sim::Gate>(machine.engine());
   ready_.set_indexed(config_.network_aware_grouping);
+  queue_.set_buckets(config_.policy == SchedPolicy::kPriorityBackfill);
   init_metrics();
 }
 
@@ -93,16 +94,16 @@ void Service::start() {
 
 JobId Service::submit(JobSpec spec) {
   if (spec.argv.empty()) throw std::invalid_argument("job with empty argv");
-  const JobId id = next_job_++;
   Job job;
-  job.rec.id = id;
   job.rec.spec = std::move(spec);
   job.rec.submitted_at = machine_->engine().now();
-  auto [it, _] = jobs_.emplace(id, std::move(job));
-  queue_.push_back(id, it->second.rec.spec.priority);
+  const JobId id = jobs_.push_back(std::move(job));
+  Job& j = jobs_.back();
+  j.rec.id = id;
+  queue_.push_back(id, j.rec.spec.priority,
+                   static_cast<std::uint32_t>(j.rec.spec.workers_needed()));
   all_done_->close();
   if (obs::Tracer* tr = tracer()) {
-    Job& j = it->second;
     j.span_job = tr->begin("job", obs::track_job(id));
     tr->attr(j.span_job, "kind",
              j.rec.spec.kind == JobKind::kMpi ? "mpi" : "seq");
@@ -117,11 +118,11 @@ JobId Service::submit(JobSpec spec) {
   // The job's timeout is a deadline measured from submission: it covers
   // queue time too, so a job that can never be placed (e.g. wider than the
   // allocation) still settles.
-  const sim::Duration timeout = it->second.rec.spec.timeout > 0
-                                    ? it->second.rec.spec.timeout
+  const sim::Duration timeout = j.rec.spec.timeout > 0
+                                    ? j.rec.spec.timeout
                                     : config_.default_job_timeout;
   if (timeout > 0) {
-    it->second.timeout = machine_->engine().call_in(
+    j.timeout = machine_->engine().call_in(
         timeout, [this, id] { deadline_expired(id); });
   }
   if (started_) kick();
@@ -129,14 +130,14 @@ JobId Service::submit(JobSpec spec) {
 }
 
 void Service::deadline_expired(JobId id) {
-  auto it = jobs_.find(id);
-  if (it == jobs_.end()) return;
-  Job& job = it->second;
+  Job* jp = jobs_.find(id);
+  if (!jp) return;
+  Job& job = *jp;
   job.deadline_passed = true;
   if (job.rec.status == JobStatus::kPending) {
     // Covers queued jobs *and* jobs waiting out a retry backoff (whose
     // pending requeue settle_job cancels).
-    queue_.erase(id, job.rec.spec.priority);
+    queue_.erase(id);
     m_failures_[static_cast<std::size_t>(FailureReason::kJobDeadline)]->inc();
     settle_job(job, JobStatus::kFailed, FailureReason::kJobDeadline);
     kick();
@@ -151,9 +152,9 @@ void Service::deadline_expired(JobId id) {
       // refer to a task the worker has never heard of and the job would
       // hang forever in kRunning.
       for (WorkerId wid : job.assigned) {
-        Worker& w = workers_.at(wid);
-        if (w.connected && w.sock) {
-          w.sock->send(net::Message(kMsgKill, {w.task_id}));
+        Worker* w = workers_.find(wid);
+        if (w && w->connected && w->sock) {
+          w->sock->send(net::Message(kMsgKill, {w->task_id}));
         }
       }
       job_finished(id, /*status=*/124, FailureReason::kJobDeadline);
@@ -174,9 +175,9 @@ sim::Task<void> Service::wait_all() {
 }
 
 sim::Task<void> Service::wait_job(JobId id) {
-  auto it = jobs_.find(id);
-  if (it == jobs_.end()) co_return;
-  Job& job = it->second;
+  Job* jp = jobs_.find(id);
+  if (!jp) co_return;
+  Job& job = *jp;
   if (job_settled(job.rec.status)) co_return;
   if (!job.settled) job.settled = std::make_unique<sim::Gate>(machine_->engine());
   co_await job.settled->wait();
@@ -185,7 +186,7 @@ sim::Task<void> Service::wait_job(JobId id) {
 std::vector<JobRecord> Service::records() const {
   std::vector<JobRecord> out;
   out.reserve(jobs_.size());
-  for (const auto& [_, job] : jobs_) out.push_back(job.rec);
+  jobs_.for_each([&](JobId, const Job& job) { out.push_back(job.rec); });
   return out;
 }
 
@@ -200,8 +201,16 @@ sim::Task<void> Service::stage_to_workers(const std::string& path) {
   StageOp& op = staging_[path];
   if (!op.done) op.done = std::make_unique<sim::Gate>(machine_->engine());
   op.done->close();
-  for (auto& [wid, w] : workers_) {
-    if (!w.connected || !w.sock) continue;
+  // Handles recycle worker slots, so slot order is not registration order;
+  // the fan-out must stay in registration order (it fixes the wire
+  // serialization sequence), hence the sort by seq.
+  std::vector<std::pair<std::uint64_t, WorkerId>> targets;
+  workers_.for_each([&](WorkerId wid, const Worker& w) {
+    if (w.connected && w.sock) targets.emplace_back(w.seq, wid);
+  });
+  std::sort(targets.begin(), targets.end());
+  for (const auto& [seq, wid] : targets) {
+    Worker& w = workers_.at(wid);
     ++op.remaining;
     net::Message m(kMsgStageIn, {path}, *size);
     w.sock->send(std::move(m));
@@ -242,14 +251,14 @@ sim::Task<void> Service::worker_handler(net::SocketPtr sock) {
         sock->close();
         break;  // refuse the node outright
       }
-      wid = next_worker_++;
       Worker w;
-      w.id = wid;
+      w.seq = next_worker_seq_++;
       w.node = node;
       w.sock = sock;
       w.connected = true;
       w.last_heard = machine_->engine().now();
-      workers_.emplace(wid, std::move(w));
+      wid = workers_.insert(std::move(w));
+      workers_.at(wid).id = wid;
       ++connected_;
       m_workers_connected_->set(static_cast<std::int64_t>(connected_));
       peak_capacity_ = std::max(peak_capacity_, connected_);
@@ -277,6 +286,7 @@ sim::Task<void> Service::worker_handler(net::SocketPtr sock) {
           continue;
         }
         w.evicted = false;
+        --evicted_live_;
         w.connected = true;
         ++connected_;
         m_workers_connected_->set(static_cast<std::int64_t>(connected_));
@@ -293,10 +303,10 @@ sim::Task<void> Service::worker_handler(net::SocketPtr sock) {
     } else if (m->tag == kMsgDone && wid != 0) {
       const std::string& task_id = m->args.at(0);
       const int status = std::stoi(m->args.at(1));
-      auto it = task_to_job_.find(task_id);
-      if (it != task_to_job_.end()) {
-        const JobId jid = it->second;
-        task_to_job_.erase(it);
+      auto tit = task_to_job_.find(task_id);
+      if (tit != task_to_job_.end()) {
+        const JobId jid = tit->second;
+        task_to_job_.erase(tit);
         // The worker's exit-reason token ("app"/"watchdog"/"killed", see
         // worker.hh) all classify as the application's own failure: the
         // watchdog kill (124) means the *app* hung, and service-requested
@@ -310,27 +320,28 @@ sim::Task<void> Service::worker_handler(net::SocketPtr sock) {
   }
   // Worker gone (allocation expired, node fault, kill): disregard it.
   if (wid != 0) {
-    auto it = workers_.find(wid);
-    if (it == workers_.end()) co_return;
-    it->second.liveness_timer.cancel();
-    if (it->second.connected) {
-      it->second.connected = false;
+    Worker* w = workers_.find(wid);
+    if (!w) co_return;
+    w->liveness_timer.cancel();
+    if (w->connected) {
+      w->connected = false;
       --connected_;
       m_workers_connected_->set(static_cast<std::int64_t>(connected_));
-      ready_.erase(wid, it->second.node);
-      if (it->second.busy && it->second.job != 0) {
+      ready_.erase(wid, w->node);
+      if (w->busy && w->job != 0) {
         // Its task cannot finish; fail the attempt so the job can retry on
         // other workers ("minimizing their impact", §5 feature 3).
-        const JobId jid = it->second.job;
-        auto jt = jobs_.find(jid);
-        if (jt != jobs_.end()) {
-          job_finished(jid, /*status=*/1, worker_lost_reason(jt->second));
-        }
+        const JobId jid = w->job;
+        Job* j = jobs_.find(jid);
+        if (j) job_finished(jid, /*status=*/1, worker_lost_reason(*j));
       }
     }
     // A worker already evicted for liveness needs no further bookkeeping;
-    // mark it unable to re-enlist now that its connection is truly gone.
-    it->second.evicted = false;
+    // with the connection truly gone it can never re-enlist, so its slot
+    // is recycled — every outstanding handle to it fails the generation
+    // check from here on (timers, reoffer callbacks, stale claims).
+    if (w->evicted) --evicted_live_;
+    workers_.erase(wid);
     // This slot is gone for good — a queued wide job may now be doomed.
     reap_unsatisfiable();
   }
@@ -341,19 +352,19 @@ sim::Task<void> Service::worker_handler(net::SocketPtr sock) {
 std::optional<JobId> Service::choose_job() {
   if (queue_.empty()) return std::nullopt;
   if (config_.policy == SchedPolicy::kFifo) {
-    const JobId head = queue_.front();
-    const auto needed =
-        static_cast<std::size_t>(jobs_.at(head).rec.spec.workers_needed());
+    // Width is cached in the queue entry: the FIFO head check never
+    // touches the job table.
+    const auto needed = static_cast<std::size_t>(queue_.front_width());
     if (ready_.size() < needed) return std::nullopt;  // head-of-line blocks
-    queue_.pop_front(jobs_.at(head).rec.spec.priority);
+    const JobId head = queue_.front();
+    queue_.pop_front();
     return head;
   }
   // Priority + backfill: the first job in (priority desc, FIFO) order whose
   // worker demand fits the currently ready pool. The queue's bucket index
   // yields that order directly — no per-kick sort of the backlog.
-  return queue_.pop_first_fit([this](JobId id) {
-    return ready_.size() >=
-           static_cast<std::size_t>(jobs_.at(id).rec.spec.workers_needed());
+  return queue_.pop_first_fit([this](std::uint32_t width) {
+    return ready_.size() >= static_cast<std::size_t>(width);
   });
 }
 
@@ -391,6 +402,8 @@ sim::Task<void> Service::dispatch_loop() {
 }
 
 sim::Task<void> Service::place_job(JobId id) {
+  // Safe to hold across co_await: the job table is append-only and
+  // deque-backed, so growth never moves this Job.
   Job& job = jobs_.at(id);
   const JobSpec& spec = job.rec.spec;
   const auto needed = static_cast<std::size_t>(spec.workers_needed());
@@ -444,22 +457,24 @@ sim::Task<void> Service::place_job(JobId id) {
     const std::string tid = "t" + std::to_string(next_task_++);
     task_to_job_[tid] = id;
     job.task_id = tid;
-    Worker& w = workers_.at(claimed.front());
-    w.task_id = tid;
+    workers_.at(claimed.front()).task_id = tid;
     co_await sim::delay(config_.dispatch_overhead);
     if (job.rec.status != JobStatus::kRunning ||
         job.rec.attempts != attempt) {  // settled mid-placement
       release_undispatched(claimed, 0);
       co_return;
     }
-    if (!w.connected || w.evicted) {
+    // Re-resolve the handle after the suspension: the worker's slot may
+    // have been recycled if it EOF'd during the dispatch delay.
+    Worker* w = workers_.find(claimed.front());
+    if (!w || !w->connected || w->evicted) {
       // The claimed worker vanished while the run message was in flight:
       // fail the attempt now rather than dropping the message and waiting
       // out a job deadline that may never fire.
       job_finished(id, /*status=*/1, worker_lost_reason(job));
       co_return;
     }
-    w.sock->send(make_run_message(tid, spec.argv, spec.vars));
+    w->sock->send(make_run_message(tid, spec.argv, spec.vars));
     if (obs::Tracer* tr = tracer()) {
       tr->end_and_clear(job.span_group);
       job.span_run = tr->begin("job.run", obs::track_job(id),
@@ -484,15 +499,17 @@ sim::Task<void> Service::place_job(JobId id) {
     job.mpx->start();
     const auto cmds = job.mpx->proxy_commands();
     for (std::size_t k = 0; k < cmds.size(); ++k) {
-      Worker& w = workers_.at(claimed.at(k));
+      const WorkerId wid = claimed.at(k);
       const std::string tid = "t" + std::to_string(next_task_++);
-      w.task_id = tid;
+      workers_.at(wid).task_id = tid;
       co_await sim::delay(config_.dispatch_overhead);
       if (job.rec.status != JobStatus::kRunning || job.rec.attempts != attempt) {
         release_undispatched(claimed, k);  // w never got its run message
         co_return;
       }
-      if (!w.connected || w.evicted) {
+      // Re-resolve after the suspension (slot may have been recycled).
+      Worker* w = workers_.find(wid);
+      if (!w || !w->connected || w->evicted) {
         // A gang member vanished mid-dispatch: fail the attempt and free
         // the rest of the gang now — mpiexec would otherwise wait forever
         // for a proxy that was never started.
@@ -500,7 +517,7 @@ sim::Task<void> Service::place_job(JobId id) {
         release_undispatched(claimed, k);
         co_return;
       }
-      w.sock->send(make_run_message(tid, cmds[k], {}));
+      w->sock->send(make_run_message(tid, cmds[k], {}));
     }
     if (obs::Tracer* tr = tracer()) {
       tr->end_and_clear(job.span_group);
@@ -516,10 +533,9 @@ sim::Task<void> Service::place_job(JobId id) {
           const int rc = co_await mpx->wait();
           FailureReason reason = FailureReason::kNone;
           if (rc != 0) {
-            auto jt = s->jobs_.find(id);
-            reason = jt != s->jobs_.end()
-                         ? s->classify_mpi_failure(jt->second, *mpx)
-                         : FailureReason::kAppExit;
+            Job* j = s->jobs_.find(id);
+            reason = j ? s->classify_mpi_failure(*j, *mpx)
+                       : FailureReason::kAppExit;
           }
           s->job_finished(id, rc, reason);
         }(this, id, job.mpx)));
@@ -527,9 +543,9 @@ sim::Task<void> Service::place_job(JobId id) {
 }
 
 void Service::job_finished(JobId id, int status, FailureReason reason) {
-  auto it = jobs_.find(id);
-  if (it == jobs_.end()) return;
-  Job& job = it->second;
+  Job* jp = jobs_.find(id);
+  if (!jp) return;
+  Job& job = *jp;
   if (job.rec.status != JobStatus::kRunning) return;  // already settled
   // NB: the submission-relative deadline timer stays armed across retries
   // (settle_job cancels it); cancelling here would hand a failing job a
@@ -539,11 +555,13 @@ void Service::job_finished(JobId id, int status, FailureReason reason) {
 
   if (status != 0) {
     // Reap stragglers: any connected worker still running a piece of this
-    // job gets a kill; its own done/ready cycle frees it.
+    // job gets a kill; its own done/ready cycle frees it. find() skips
+    // assignees whose slot already went to EOF (they were disconnected
+    // anyway, so the old map-based path skipped them too).
     for (WorkerId wid : job.assigned) {
-      Worker& w = workers_.at(wid);
-      if (w.connected && w.busy && w.job == id && w.sock) {
-        w.sock->send(net::Message(kMsgKill, {w.task_id}));
+      Worker* w = workers_.find(wid);
+      if (w && w->connected && w->busy && w->job == id && w->sock) {
+        w->sock->send(net::Message(kMsgKill, {w->task_id}));
       }
     }
   }
@@ -552,8 +570,8 @@ void Service::job_finished(JobId id, int status, FailureReason reason) {
   // settled; the pending check evicts it instead. Responsive stragglers
   // cancel the timer through their done/ready cycle.
   for (WorkerId wid : job.assigned) {
-    Worker& w = workers_.at(wid);
-    if (w.job == id) w.job = 0;
+    Worker* w = workers_.find(wid);
+    if (w && w->job == id) w->job = 0;
   }
   job.assigned.clear();
   if (!job.task_id.empty()) {
@@ -652,9 +670,9 @@ sim::Duration Service::backoff_delay(const RetryPolicy& pol, int failures) {
 }
 
 void Service::requeue_job(JobId id) {
-  auto it = jobs_.find(id);
-  if (it == jobs_.end()) return;
-  Job& job = it->second;
+  Job* jp = jobs_.find(id);
+  if (!jp) return;
+  Job& job = *jp;
   if (job.rec.status != JobStatus::kPending || !job.in_backoff) return;
   job.in_backoff = false;
   --backing_off_;
@@ -672,7 +690,8 @@ void Service::requeue_job(JobId id) {
     job.span_queued = tr->begin("job.queued", obs::track_job(id),
                                 job.span_job);
   }
-  queue_.push_back(id, job.rec.spec.priority);
+  queue_.push_back(id, job.rec.spec.priority,
+                   static_cast<std::uint32_t>(job.rec.spec.workers_needed()));
   kick();
 }
 
@@ -729,32 +748,36 @@ FailureReason Service::classify_mpi_failure(const Job& job,
 }
 
 std::size_t Service::potential_capacity() const {
+  // Without blacklisting, no node is ever banned, so the count is just two
+  // maintained counters — O(1) on the EOF/eviction path, which calls this
+  // once per departure (10^5..10^6 times in a teardown storm).
+  if (config_.blacklist_after == 0) return connected_ + evicted_live_;
   std::size_t n = 0;
-  for (const auto& [wid, w] : workers_) {
+  workers_.for_each([&](WorkerId, const Worker& w) {
     if (w.connected) {
       ++n;
     } else if (w.evicted && !node_banned(w.node)) {
       ++n;  // could still re-enlist
     }
-  }
+  });
   return n;
 }
 
 void Service::reap_unsatisfiable() {
   if (!config_.fail_unsatisfiable) return;
+  if (queue_.empty()) return;
   const std::size_t cap = potential_capacity();
   std::vector<JobId> doomed;
-  for (JobId id : queue_.fifo()) {
-    const Job& job = jobs_.at(id);
-    const auto needed = static_cast<std::size_t>(job.rec.spec.workers_needed());
+  queue_.for_each([&](JobId id, std::uint32_t width) {
+    const auto needed = static_cast<std::size_t>(width);
     // Only jobs the machine *once* had room for: a job wider than the
     // allocation ever was keeps waiting (workers may still register), and
     // is bounded by its deadline as before.
     if (needed > cap && needed <= peak_capacity_) doomed.push_back(id);
-  }
+  });
   for (JobId id : doomed) {
     Job& job = jobs_.at(id);
-    queue_.erase(id, job.rec.spec.priority);
+    queue_.erase(id);
     m_failures_[static_cast<std::size_t>(FailureReason::kServiceAbort)]->inc();
     settle_job(job, JobStatus::kFailed, FailureReason::kServiceAbort);
   }
@@ -764,9 +787,9 @@ void Service::reap_unsatisfiable() {
 // --- Worker liveness ---------------------------------------------------------
 
 void Service::liveness_check(WorkerId wid) {
-  auto it = workers_.find(wid);
-  if (it == workers_.end()) return;
-  Worker& w = it->second;
+  Worker* wp = workers_.find(wid);
+  if (!wp) return;  // slot recycled: the timer's target is long gone
+  Worker& w = *wp;
   // Only busy workers are under a liveness deadline: an idle worker owes
   // us nothing (and pinging while idle would keep the simulation alive
   // forever — see WorkerConfig::heartbeat_interval).
@@ -790,6 +813,7 @@ void Service::evict_worker(WorkerId wid) {
   // was merely wedged (stall drains, hang released) can announce itself
   // with "ready" and be re-enlisted.
   w.evicted = true;
+  ++evicted_live_;
   w.connected = false;
   --connected_;
   m_workers_connected_->set(static_cast<std::int64_t>(connected_));
@@ -839,15 +863,17 @@ bool Service::node_blacklisted(os::NodeId node) {
 }
 
 void Service::reoffer_worker(WorkerId wid) {
-  auto it = workers_.find(wid);
-  if (it == workers_.end()) return;
-  Worker& w = it->second;
-  // Only an evicted-but-alive idle worker qualifies: EOF clears `evicted`,
-  // so a worker whose connection died in the meantime is skipped, and a
-  // still-banned node (probation extended by a re-ban) stays out.
+  Worker* wp = workers_.find(wid);
+  if (!wp) return;  // EOF recycled the slot: nothing to re-offer
+  Worker& w = *wp;
+  // Only an evicted-but-alive idle worker qualifies (EOF erases the slot,
+  // so a worker whose connection died in the meantime fails the handle
+  // check above), and a still-banned node (probation extended by a re-ban)
+  // stays out.
   if (!w.evicted || w.connected || w.busy || !w.sock) return;
   if (node_blacklisted(w.node)) return;
   w.evicted = false;
+  --evicted_live_;
   w.connected = true;
   ++connected_;
   m_workers_connected_->set(static_cast<std::int64_t>(connected_));
@@ -861,37 +887,39 @@ void Service::release_undispatched(const std::vector<WorkerId>& claimed,
                                    std::size_t from_idx) {
   bool released = false;
   for (std::size_t k = from_idx; k < claimed.size(); ++k) {
-    Worker& w = workers_.at(claimed[k]);
+    // Handle re-lookup: the claim was taken before a suspension point, so
+    // the worker may have EOF'd (slot recycled) in between.
+    Worker* w = workers_.find(claimed[k]);
     // Only a healthy, still-claimed worker goes back to the pool; evicted
     // or disconnected ones are already accounted for elsewhere.
-    if (!w.connected || w.evicted || !w.busy || w.job != 0) continue;
-    w.busy = false;
-    w.task_id.clear();
-    w.liveness_timer.cancel();
-    ready_.push_back(claimed[k], w.node);
+    if (!w || !w->connected || w->evicted || !w->busy || w->job != 0) continue;
+    w->busy = false;
+    w->task_id.clear();
+    w->liveness_timer.cancel();
+    ready_.push_back(claimed[k], w->node);
     released = true;
   }
   if (released) kick();
 }
 
 bool Service::ready_pool_consistent() const {
+  const std::vector<WorkerId> fifo = ready_.live_fifo();
   std::set<WorkerId> seen;
-  for (WorkerId wid : ready_.fifo()) {
+  for (WorkerId wid : fifo) {
     if (!seen.insert(wid).second) return false;  // duplicate entry
-    auto it = workers_.find(wid);
-    if (it == workers_.end()) return false;
-    const Worker& w = it->second;
-    if (!w.connected || w.busy || w.evicted) return false;
+    const Worker* w = workers_.find(wid);
+    if (!w) return false;
+    if (!w->connected || w->busy || w->evicted) return false;
   }
   if (config_.network_aware_grouping) {
     // The node-sorted mirror must agree with the FIFO view exactly: same
     // workers, correct node keys, strictly increasing (node, arrival).
     const auto& index = ready_.index();
-    if (index.size() != ready_.fifo().size()) return false;
+    if (index.size() != fifo.size()) return false;
     for (std::size_t i = 0; i < index.size(); ++i) {
       if (i > 0 && !(index[i - 1] < index[i])) return false;
-      auto it = workers_.find(index[i].wid);
-      if (it == workers_.end() || it->second.node != index[i].node) return false;
+      const Worker* w = workers_.find(index[i].wid);
+      if (!w || w->node != index[i].node) return false;
       if (!seen.contains(index[i].wid)) return false;
     }
   }

@@ -56,9 +56,11 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/job.hh"
+#include "core/table.hh"
 #include "core/worker.hh"
 #include "net/socket.hh"
 #include "obs/metrics.hh"
@@ -211,57 +213,179 @@ class Service {
   /// are connected, idle, and not evicted.
   bool ready_pool_consistent() const;
 
+  // Table/slab observability (scale tests bound these; the invariant is
+  // physical footprint = O(live entities), not O(events processed)).
+  /// Worker slots ever allocated at once (SlotMap slab high-water).
+  std::size_t worker_slab_high_water() const {
+    return workers_.slab_high_water();
+  }
+  /// Jobs ever submitted (the job table is append-only by design).
+  std::size_t job_table_size() const { return jobs_.size(); }
+  /// Pending-queue entries including stale lazy-deletion copies; the
+  /// compaction policy bounds this by 2 * live + O(1).
+  std::size_t queue_physical_size() const { return queue_.physical_size(); }
+  /// Ready-pool FIFO entries including stale copies; same bound.
+  std::size_t ready_physical_size() const { return ready_.physical_size(); }
+
  private:
   using WorkerId = std::uint64_t;
 
-  /// Pending-job backlog: FIFO deque plus a priority-bucket index kept in
-  /// step on submit/requeue/erase, so the kPriorityBackfill pick scans in
-  /// (priority desc, FIFO) order without re-sorting the whole backlog on
-  /// every dispatch kick.
+  /// Lets the differential property suite drive PendingQueue/ReadyPool
+  /// directly against naive reference models (tests only).
+  friend struct ServiceTestAccess;
+
+  /// Pending-job backlog with O(1)-amortized membership changes at any
+  /// scale. Queue entries carry the job's (immutable) width and priority as
+  /// a struct-of-arrays sidecar, so dispatch scans never touch the job
+  /// table. Removal is lazy, the same way the engine's event heap retires
+  /// cancelled events: erase() retires the job's *ticket* (stored in a
+  /// dense per-JobId vector), stale entries are dropped when they surface
+  /// at a scan front, and wholesale compaction runs once stale copies
+  /// outnumber live ones — so a requeue/deadline/backfill-heavy workload
+  /// never pays O(n) per settle the way std::erase on the deque did.
+  /// Tickets are globally monotone: a job requeued after a retry gets a
+  /// fresh ticket, so its old entry reads stale (no ABA).
   class PendingQueue {
    public:
-    void push_back(JobId id, int priority) {
-      fifo_.push_back(id);
-      buckets_[priority].push_back(id);
-    }
-    void erase(JobId id, int priority) {
-      std::erase(fifo_, id);
-      auto it = buckets_.find(priority);
-      if (it == buckets_.end()) return;
-      std::erase(it->second, id);
-      if (it->second.empty()) buckets_.erase(it);
-    }
-    JobId front() const { return fifo_.front(); }
-    void pop_front(int priority) { erase(fifo_.front(), priority); }
-    bool empty() const { return fifo_.empty(); }
-    std::size_t size() const { return fifo_.size(); }
-    /// Submission order, for paths that must visit jobs FIFO (reaping).
-    const std::deque<JobId>& fifo() const { return fifo_; }
+    struct Entry {
+      JobId id = 0;
+      std::uint64_t ticket = 0;
+      std::uint32_t width = 0;  // JobSpec::workers_needed(), cached
+      int priority = 0;
+    };
 
-    /// First job in (priority desc, FIFO-within-priority) order accepted by
-    /// `fits`; removed from the queue when found.
+    /// The priority-bucket mirror is only paid for when the backfill
+    /// policy will actually scan it. Must be set before first use.
+    void set_buckets(bool on) { use_buckets_ = on; }
+
+    void push_back(JobId id, int priority, std::uint32_t width) {
+      const std::uint64_t t = ++next_ticket_;
+      ticket_slot(id) = t;
+      ++live_;
+      fifo_.push_back(Entry{id, t, width, priority});
+      if (use_buckets_) {
+        buckets_[priority].push_back(Entry{id, t, width, priority});
+        ++bucket_entries_;
+      }
+    }
+    void erase(JobId id) {
+      if (id == 0 || id > tickets_.size()) return;
+      std::uint64_t& t = tickets_[id - 1];
+      if (t == 0) return;  // not queued (e.g. backing off): no-op as before
+      t = 0;
+      --live_;
+      maybe_compact();
+    }
+    /// Head of the live FIFO; requires !empty().
+    JobId front() {
+      drop_stale_front();
+      return fifo_.front().id;
+    }
+    /// Cached width of the live head; requires !empty().
+    std::uint32_t front_width() {
+      drop_stale_front();
+      return fifo_.front().width;
+    }
+    void pop_front() {
+      drop_stale_front();
+      tickets_[fifo_.front().id - 1] = 0;
+      fifo_.pop_front();
+      --live_;
+    }
+    bool empty() const { return live_ == 0; }
+    std::size_t size() const { return live_; }
+    std::size_t physical_size() const { return fifo_.size(); }
+    /// Visits live jobs in submission order (reaping and consistency
+    /// walks); stale entries are skipped in place.
+    template <typename Fn>
+    void for_each(Fn&& fn) const {
+      for (const Entry& e : fifo_) {
+        if (is_live(e)) fn(e.id, e.width);
+      }
+    }
+
+    /// First job in (priority desc, FIFO-within-priority) order whose
+    /// cached width `fits`; removed from the queue when found.
     template <typename Fits>
     std::optional<JobId> pop_first_fit(Fits&& fits) {
-      for (auto& [priority, bucket] : buckets_) {
-        for (JobId id : bucket) {
-          if (fits(id)) {
-            erase(id, priority);
+      for (auto bit = buckets_.begin(); bit != buckets_.end();) {
+        std::deque<Entry>& bucket = bit->second;
+        // Retired entries at the bucket front are free to drop.
+        while (!bucket.empty() && !is_live(bucket.front())) {
+          bucket.pop_front();
+          --bucket_entries_;
+        }
+        for (const Entry& e : bucket) {
+          if (!is_live(e)) continue;
+          if (fits(e.width)) {
+            const JobId id = e.id;
+            tickets_[id - 1] = 0;  // entry (and its fifo copy) now stale
+            --live_;
+            maybe_compact();
             return id;
           }
+        }
+        if (bucket.empty()) {
+          bit = buckets_.erase(bit);
+        } else {
+          ++bit;
         }
       }
       return std::nullopt;
     }
 
    private:
-    std::deque<JobId> fifo_;
-    std::map<int, std::deque<JobId>, std::greater<int>> buckets_;
+    bool is_live(const Entry& e) const {
+      return tickets_[e.id - 1] == e.ticket;
+    }
+    std::uint64_t& ticket_slot(JobId id) {
+      if (id > tickets_.size()) tickets_.resize(static_cast<std::size_t>(id));
+      return tickets_[id - 1];
+    }
+    void drop_stale_front() {
+      while (!fifo_.empty() && !is_live(fifo_.front())) fifo_.pop_front();
+    }
+    /// Rebuilds the deques (preserving live order) once stale copies
+    /// dominate; amortized O(1) against the erases that created them.
+    void maybe_compact() {
+      if (fifo_.size() > 2 * live_ + 64) {
+        std::deque<Entry> keep;
+        for (const Entry& e : fifo_) {
+          if (is_live(e)) keep.push_back(e);
+        }
+        fifo_.swap(keep);
+      }
+      if (use_buckets_ && bucket_entries_ > 2 * live_ + 64) {
+        bucket_entries_ = 0;
+        for (auto bit = buckets_.begin(); bit != buckets_.end();) {
+          std::deque<Entry> keep;
+          for (const Entry& e : bit->second) {
+            if (is_live(e)) keep.push_back(e);
+          }
+          bit->second.swap(keep);
+          bucket_entries_ += bit->second.size();
+          bit = bit->second.empty() ? buckets_.erase(bit) : std::next(bit);
+        }
+      }
+    }
+
+    bool use_buckets_ = false;
+    std::uint64_t next_ticket_ = 0;
+    std::size_t live_ = 0;
+    std::size_t bucket_entries_ = 0;
+    std::deque<Entry> fifo_;
+    std::map<int, std::deque<Entry>, std::greater<int>> buckets_;
+    /// Dense per-JobId live ticket (0 = not queued), indexed by id-1.
+    std::vector<std::uint64_t> tickets_;
   };
 
-  /// Ready-worker pool. FCFS claims pop the FIFO deque; when network-aware
-  /// grouping is on, a mirror of the pool sorted by (node, arrival) is
-  /// maintained incrementally so each MPI placement is one sliding-window
-  /// span scan instead of a copy + full sort of the pool.
+  /// Ready-worker pool. FCFS claims pop the FIFO deque; removal anywhere
+  /// else is lazy-deletion on a per-worker-slot ticket (workers re-enter
+  /// the pool after every job, so tickets — not ids — are what keeps a
+  /// stale entry from aliasing the worker's next enlistment). When
+  /// network-aware grouping is on, a mirror of the pool sorted by
+  /// (node, arrival) is maintained eagerly as before so each MPI placement
+  /// stays one sliding-window span scan.
   class ReadyPool {
    public:
     struct Entry {
@@ -275,7 +399,10 @@ class Service {
     void set_indexed(bool on) { indexed_ = on; }
 
     void push_back(WorkerId wid, os::NodeId node) {
-      fifo_.push_back(wid);
+      const std::uint64_t t = ++next_ticket_;
+      ticket_slot(wid) = t;
+      ++live_;
+      fifo_.push_back(FifoEntry{wid, t});
       if (indexed_) {
         const Entry e{node, arrivals_++, wid};
         by_node_.insert(std::upper_bound(by_node_.begin(), by_node_.end(), e),
@@ -283,18 +410,38 @@ class Service {
       }
     }
     void erase(WorkerId wid, os::NodeId node) {
-      std::erase(fifo_, wid);
+      const std::uint32_t slot = slot_of(wid);
+      if (slot >= tickets_.size() || tickets_[slot] == 0) return;  // not pooled
+      tickets_[slot] = 0;
+      --live_;
+      maybe_compact();
       if (indexed_) index_erase(wid, node);
     }
-    WorkerId front() const { return fifo_.front(); }
+    /// Live head of the FIFO; requires !empty().
+    WorkerId front() {
+      drop_stale_front();
+      return fifo_.front().wid;
+    }
     void erase_front(os::NodeId node) {
-      const WorkerId wid = fifo_.front();
+      drop_stale_front();
+      const WorkerId wid = fifo_.front().wid;
+      tickets_[slot_of(wid)] = 0;
       fifo_.pop_front();
+      --live_;
       if (indexed_) index_erase(wid, node);
     }
-    bool empty() const { return fifo_.empty(); }
-    std::size_t size() const { return fifo_.size(); }
-    const std::deque<WorkerId>& fifo() const { return fifo_; }
+    bool empty() const { return live_ == 0; }
+    std::size_t size() const { return live_; }
+    std::size_t physical_size() const { return fifo_.size(); }
+    /// Live FIFO view for the consistency test hook (cold path).
+    std::vector<WorkerId> live_fifo() const {
+      std::vector<WorkerId> out;
+      out.reserve(live_);
+      for (const FifoEntry& e : fifo_) {
+        if (is_live(e)) out.push_back(e.wid);
+      }
+      return out;
+    }
     const std::vector<Entry>& index() const { return by_node_; }
 
     /// Claims the `count` workers whose sorted window has the smallest
@@ -318,11 +465,44 @@ class Service {
       }
       by_node_.erase(by_node_.begin() + static_cast<std::ptrdiff_t>(best),
                      by_node_.begin() + static_cast<std::ptrdiff_t>(best + count));
-      for (WorkerId wid : claimed) std::erase(fifo_, wid);
+      for (WorkerId wid : claimed) {
+        tickets_[slot_of(wid)] = 0;  // fifo copy goes stale
+        --live_;
+      }
+      maybe_compact();
       return claimed;
     }
 
    private:
+    struct FifoEntry {
+      WorkerId wid = 0;
+      std::uint64_t ticket = 0;
+    };
+
+    static constexpr std::uint32_t slot_of(WorkerId wid) {
+      return static_cast<std::uint32_t>(wid & 0xffffffffu);
+    }
+    bool is_live(const FifoEntry& e) const {
+      const std::uint32_t slot = slot_of(e.wid);
+      return slot < tickets_.size() && tickets_[slot] == e.ticket;
+    }
+    std::uint64_t& ticket_slot(WorkerId wid) {
+      const std::uint32_t slot = slot_of(wid);
+      if (slot >= tickets_.size()) tickets_.resize(slot + 1);
+      return tickets_[slot];
+    }
+    void drop_stale_front() {
+      while (!fifo_.empty() && !is_live(fifo_.front())) fifo_.pop_front();
+    }
+    void maybe_compact() {
+      if (fifo_.size() <= 2 * live_ + 64) return;
+      std::deque<FifoEntry> keep;
+      for (const FifoEntry& e : fifo_) {
+        if (is_live(e)) keep.push_back(e);
+      }
+      fifo_.swap(keep);
+    }
+
     void index_erase(WorkerId wid, os::NodeId node) {
       auto it = std::lower_bound(by_node_.begin(), by_node_.end(),
                                  Entry{node, 0, 0});
@@ -336,12 +516,21 @@ class Service {
 
     bool indexed_ = false;
     std::uint64_t arrivals_ = 0;
-    std::deque<WorkerId> fifo_;
+    std::uint64_t next_ticket_ = 0;
+    std::size_t live_ = 0;
+    std::deque<FifoEntry> fifo_;
     std::vector<Entry> by_node_;  // sorted by (node, arrival)
+    /// Dense per-worker-slot live ticket (0 = not in the pool), indexed by
+    /// the SlotMap slot of the worker's handle.
+    std::vector<std::uint64_t> tickets_;
   };
 
   struct Worker {
     WorkerId id = 0;
+    /// Registration order (1, 2, 3, ...): handles recycle worker slots, so
+    /// paths that must visit workers in registration order (stage fan-out)
+    /// sort by this instead of by id.
+    std::uint64_t seq = 0;
     os::NodeId node = 0;
     net::SocketPtr sock;
     bool connected = false;
@@ -466,12 +655,16 @@ class Service {
   std::unique_ptr<sim::Gate> all_done_;
   bool started_ = false;
 
-  JobId next_job_ = 1;
-  WorkerId next_worker_ = 1;
+  std::uint64_t next_worker_seq_ = 1;
   std::uint64_t next_task_ = 1;
-  std::map<JobId, Job> jobs_;
-  std::map<WorkerId, Worker> workers_;
-  std::map<std::string, JobId> task_to_job_;  // outstanding sequential tasks
+  /// Jobs are append-only (records outlive settles) and JobIds are handed
+  /// out densely, so the table *is* the id space; workers recycle slots at
+  /// EOF behind generation-checked handles. See core/table.hh.
+  DenseTable<Job> jobs_;
+  SlotMap<Worker> workers_;
+  /// Outstanding sequential tasks. Lookup-only (never iterated), so the
+  /// unordered map is deterministic and O(1) on the done-message path.
+  std::unordered_map<std::string, JobId> task_to_job_;
   PendingQueue queue_;
   ReadyPool ready_;
   /// In-flight stage-ins: path -> (remaining acks, completion gate).
@@ -483,6 +676,10 @@ class Service {
   std::map<os::NodeId, NodeHealth> node_health_;
   sim::Rng retry_rng_;
   std::size_t connected_ = 0;
+  /// Workers currently disregarded but able to re-enlist; keeps
+  /// potential_capacity() O(1) when blacklisting is off (the hot default),
+  /// since reap_unsatisfiable runs on every EOF/eviction.
+  std::size_t evicted_live_ = 0;
   /// Most workers ever simultaneously connected — a job whose width once
   /// fit under this was satisfiable at some point (see reap_unsatisfiable).
   std::size_t peak_capacity_ = 0;

@@ -40,13 +40,17 @@ sim::Time Socket::queue_on_wire(const Message& m) {
 void Socket::send(Message m) {
   if (!open_ || out().closed) return;  // writes on a closed socket are dropped
   const sim::Time deliver_at = queue_on_wire(m);
-  auto conn = conn_;
-  const bool to_b = is_a_;
-  net_->engine().call_at(deliver_at, [conn, to_b, m = std::move(m)]() mutable {
-    detail::Pipe& p = to_b ? conn->a_to_b : conn->b_to_a;
-    // If the reader already closed its end, the bytes vanish (RST-like).
-    if (!p.inbox.closed()) p.inbox.push(std::move(m));
-  });
+  detail::Pipe& pipe = out();
+  pipe.park(std::move(m), deliver_at);
+  // Still one engine event per send — the event heap's (time, seq) layout
+  // is byte-identical to the per-message scheme — but the payload lives in
+  // the arena, and the closure is a single aliasing shared_ptr: 16 bytes,
+  // inside std::function's inline buffer, so a send allocates nothing on
+  // the delivery path. The earliest event of a same-instant burst drains
+  // the whole due batch (Pipe::flush); its siblings find the chain empty.
+  net_->engine().call_at(
+      deliver_at,
+      [p = std::shared_ptr<detail::Pipe>(conn_, &pipe)] { p->flush(); });
 }
 
 sim::Task<void> Socket::send_sync(Message m) {
@@ -56,12 +60,11 @@ sim::Task<void> Socket::send_sync(Message m) {
   // fully left this endpoint (stalls included); that is what the sender
   // holds resources until.
   const sim::Time sent_at = out().wire_free_at;
-  auto conn = conn_;
-  const bool to_b = is_a_;
-  net_->engine().call_at(deliver_at, [conn, to_b, m = std::move(m)]() mutable {
-    detail::Pipe& p = to_b ? conn->a_to_b : conn->b_to_a;
-    if (!p.inbox.closed()) p.inbox.push(std::move(m));
-  });
+  detail::Pipe& pipe = out();
+  pipe.park(std::move(m), deliver_at);
+  net_->engine().call_at(
+      deliver_at,
+      [p = std::shared_ptr<detail::Pipe>(conn_, &pipe)] { p->flush(); });
   const sim::Duration wait = sent_at - net_->engine().now();
   if (wait > 0) co_await sim::delay(wait);
 }
@@ -134,7 +137,8 @@ sim::Task<SocketPtr> Network::connect(NodeId from, Address to) {
   co_await sim::delay(rtt);
   auto it = listeners_.find(to);
   if (it == listeners_.end() || !it->second->open_) throw ConnectError(to);
-  auto conn = std::make_shared<detail::Connection>(*engine_, from, to.node);
+  auto conn =
+      std::make_shared<detail::Connection>(*engine_, arena_, from, to.node);
   connections_.push_back(conn);
   auto client = std::make_shared<Socket>(*this, conn, /*is_a=*/true);
   auto server = std::make_shared<Socket>(*this, conn, /*is_a=*/false);

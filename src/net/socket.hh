@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "net/arena.hh"
 #include "net/fabric.hh"
 #include "net/message.hh"
 #include "sim/engine.hh"
@@ -30,7 +31,12 @@
 
 namespace jets::net {
 
-using Port = std::uint16_t;
+// 32-bit, not the TCP-real 16: ports are handed out by a machine-wide
+// monotone counter (os::Machine::allocate_port), and a million-worker run
+// makes far more than 2^16 dynamic binds — a 16-bit counter wraps back
+// onto the service's well-known port. Values at paper scale are identical
+// either way.
+using Port = std::uint32_t;
 
 struct Address {
   NodeId node = 0;
@@ -52,18 +58,75 @@ class ConnectError : public std::runtime_error {
 
 namespace detail {
 
-/// One direction of a connection: a delivery channel plus the sender-side
-/// wire clock that enforces FIFO, bandwidth-limited delivery.
+/// One direction of a connection: a delivery channel, the sender-side
+/// wire clock that enforces FIFO bandwidth-limited delivery, and the FIFO
+/// chain of in-flight messages parked in the network's arena.
 struct Pipe {
-  explicit Pipe(sim::Engine& engine) : inbox(engine) {}
+  Pipe(sim::Engine& engine, MessageArena* arena)
+      : inbox(engine), engine(&engine), arena(arena) {}
+  ~Pipe() {
+    // Frees messages whose delivery events never fired (simulation ended
+    // or connection torn down mid-flight). The owning Connection keeps the
+    // arena alive until after its pipes are gone.
+    while (pending_head != MessageArena::kNil) {
+      const std::uint32_t idx = pending_head;
+      pending_head = arena->slot(idx).next;
+      arena->release(idx);
+    }
+  }
+
+  /// Parks a message for delivery at `due` (due times are monotone per
+  /// pipe: the wire clock only moves forward and stalls only extend).
+  void park(Message m, sim::Time due) {
+    const std::uint32_t idx = arena->acquire(std::move(m), due);
+    if (pending_tail == MessageArena::kNil) {
+      pending_head = idx;
+    } else {
+      arena->slot(pending_tail).next = idx;
+    }
+    pending_tail = idx;
+  }
+
+  /// Delivers every parked message that is due. Each send schedules one
+  /// engine event at its own delivery instant (preserving the event
+  /// heap's (time, seq) layout exactly), but the earliest event of a
+  /// same-instant burst drains the whole batch and the rest find an empty
+  /// chain.
+  void flush() {
+    const sim::Time now = engine->now();
+    std::size_t delivered = 0;
+    while (pending_head != MessageArena::kNil &&
+           arena->slot(pending_head).due <= now) {
+      const std::uint32_t idx = pending_head;
+      MessageArena::Slot& s = arena->slot(idx);
+      pending_head = s.next;
+      // If the reader already closed its end, the bytes vanish (RST-like).
+      if (!inbox.closed()) inbox.push(std::move(s.msg));
+      arena->release(idx);
+      ++delivered;
+    }
+    if (pending_head == MessageArena::kNil) pending_tail = MessageArena::kNil;
+    arena->note_flush(delivered);
+  }
+
   sim::Channel<Message> inbox;
+  sim::Engine* engine;
+  MessageArena* arena;
   sim::Time wire_free_at = 0;  // sender clock: when the wire next idles
   bool closed = false;
+  std::uint32_t pending_head = MessageArena::kNil;
+  std::uint32_t pending_tail = MessageArena::kNil;
 };
 
 struct Connection {
-  Connection(sim::Engine& engine, NodeId a, NodeId b)
-      : a_to_b(engine), b_to_a(engine), node_a(a), node_b(b) {}
+  Connection(sim::Engine& engine, std::shared_ptr<MessageArena> arena,
+             NodeId a, NodeId b)
+      : arena_ref(std::move(arena)), a_to_b(engine, arena_ref.get()),
+        b_to_a(engine, arena_ref.get()), node_a(a), node_b(b) {}
+  /// Declared before the pipes so their destructors (which release parked
+  /// messages back into the arena) run while the arena is still alive —
+  /// even if the owning Network is long gone.
+  std::shared_ptr<MessageArena> arena_ref;
   Pipe a_to_b;
   Pipe b_to_a;
   NodeId node_a, node_b;
@@ -153,12 +216,15 @@ class Listener {
 class Network {
  public:
   Network(sim::Engine& engine, std::shared_ptr<const Fabric> fabric)
-      : engine_(&engine), fabric_(std::move(fabric)) {}
+      : engine_(&engine), fabric_(std::move(fabric)),
+        arena_(std::make_shared<MessageArena>()) {}
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
   sim::Engine& engine() { return *engine_; }
   const Fabric& fabric() const { return *fabric_; }
+  /// In-flight message arena (shared with every connection's pipes).
+  const MessageArena& arena() const { return *arena_; }
 
   /// Binds a listener; throws std::invalid_argument if the port is taken.
   std::unique_ptr<Listener> listen(Address addr);
@@ -193,6 +259,7 @@ class Network {
 
   sim::Engine* engine_;
   std::shared_ptr<const Fabric> fabric_;
+  std::shared_ptr<MessageArena> arena_;
   std::map<Address, Listener*> listeners_;
   /// Live connections, for reset_node; pruned opportunistically.
   std::vector<std::weak_ptr<detail::Connection>> connections_;

@@ -16,40 +16,19 @@
 #include "core/chaos.hh"
 #include "core/standalone.hh"
 #include "sim/trace.hh"
-#include "testbed.hh"
+#include "testutil.hh"
 
 namespace jets::core {
 namespace {
 
-using test::TestBed;
+using test::mpi_job;
+using test::seq_job;
 
-struct ChaosBed : TestBed {
-  explicit ChaosBed(os::MachineSpec spec) : TestBed(std::move(spec)) {
-    apps::install_synthetic_apps(apps);
-    machine.shared_fs().put("sleep", 16'384);
-    machine.shared_fs().put("mpi_sleep", 1'500'000);
-  }
-
-  static std::vector<os::NodeId> nodes(std::size_t n) {
-    std::vector<os::NodeId> v;
-    for (std::size_t i = 0; i < n; ++i) v.push_back(static_cast<os::NodeId>(i));
-    return v;
-  }
+struct ChaosBed : test::ServiceBed {
+  explicit ChaosBed(os::MachineSpec spec)
+      : ServiceBed(std::move(spec),
+                   {{"sleep", 16'384}, {"mpi_sleep", 1'500'000}}) {}
 };
-
-JobSpec seq_job(std::vector<std::string> argv) {
-  JobSpec s;
-  s.argv = std::move(argv);
-  return s;
-}
-
-JobSpec mpi_job(int nprocs, std::vector<std::string> argv) {
-  JobSpec s;
-  s.kind = JobKind::kMpi;
-  s.nprocs = nprocs;
-  s.argv = std::move(argv);
-  return s;
-}
 
 // --- The fault matrix --------------------------------------------------------
 

@@ -13,61 +13,23 @@
 #include "core/faults.hh"
 #include "core/service.hh"
 #include "core/standalone.hh"
-#include "testbed.hh"
+#include "testutil.hh"
 
 namespace jets::core {
 namespace {
 
-using test::TestBed;
+using test::mpi_job;
+using test::seq_job;
 
 /// A bed with synthetic apps installed and binaries on GPFS.
-struct JetsBed : TestBed {
-  apps::SyntheticResults results;
-  explicit JetsBed(os::MachineSpec spec) : TestBed(std::move(spec)) {
-    apps::install_synthetic_apps(apps, &results);
-    for (const char* name : {"noop", "sleep", "mpi_sleep", "mpi_sleep_write",
-                             "pingpong"}) {
-      machine.shared_fs().put(name, 1'000'000);
-    }
-  }
-
-  StandaloneOptions fast_options() {
-    StandaloneOptions o;
-    o.worker.task_overhead = sim::milliseconds(2);
-    return o;
-  }
-
-  BatchReport run(StandaloneJets& jets, std::vector<JobSpec> jobs) {
-    BatchReport report;
-    engine.spawn("batch", [](StandaloneJets& jets, std::vector<JobSpec> jobs,
-                             BatchReport& out) -> sim::Task<void> {
-      out = co_await jets.run_batch(std::move(jobs));
-    }(jets, std::move(jobs), report));
-    engine.run();
-    return report;
-  }
-
-  static std::vector<os::NodeId> nodes(std::size_t n) {
-    std::vector<os::NodeId> v;
-    for (std::size_t i = 0; i < n; ++i) v.push_back(static_cast<os::NodeId>(i));
-    return v;
-  }
+struct JetsBed : test::ServiceBed {
+  explicit JetsBed(os::MachineSpec spec)
+      : ServiceBed(std::move(spec), {{"noop", 1'000'000},
+                                     {"sleep", 1'000'000},
+                                     {"mpi_sleep", 1'000'000},
+                                     {"mpi_sleep_write", 1'000'000},
+                                     {"pingpong", 1'000'000}}) {}
 };
-
-JobSpec seq_job(std::vector<std::string> argv) {
-  JobSpec s;
-  s.argv = std::move(argv);
-  return s;
-}
-
-JobSpec mpi_job(int nprocs, std::vector<std::string> argv, int ppn = 1) {
-  JobSpec s;
-  s.kind = JobKind::kMpi;
-  s.nprocs = nprocs;
-  s.ppn = ppn;
-  s.argv = std::move(argv);
-  return s;
-}
 
 TEST(Standalone, SequentialBatchCompletes) {
   JetsBed bed(os::Machine::breadboard(4));

@@ -19,58 +19,25 @@
 #include "apps/synthetic.hh"
 #include "core/chaos.hh"
 #include "core/standalone.hh"
-#include "testbed.hh"
+#include "testutil.hh"
 
 namespace jets::core {
 namespace {
 
-using test::TestBed;
+using test::mpi_job;
+using test::seq_job;
 
-struct RetryBed : TestBed {
-  explicit RetryBed(os::MachineSpec spec) : TestBed(std::move(spec)) {
-    apps::install_synthetic_apps(apps);
-    machine.shared_fs().put("sleep", 16'384);
-    machine.shared_fs().put("mpi_sleep", 1'500'000);
-  }
-
-  static std::vector<os::NodeId> nodes(std::size_t n) {
-    std::vector<os::NodeId> v;
-    for (std::size_t i = 0; i < n; ++i) v.push_back(static_cast<os::NodeId>(i));
-    return v;
-  }
+struct RetryBed : test::ServiceBed {
+  explicit RetryBed(os::MachineSpec spec)
+      : ServiceBed(std::move(spec),
+                   {{"sleep", 16'384}, {"mpi_sleep", 1'500'000}}) {}
 };
-
-JobSpec seq_job(std::vector<std::string> argv) {
-  JobSpec s;
-  s.argv = std::move(argv);
-  return s;
-}
-
-JobSpec mpi_job(int nprocs, std::vector<std::string> argv) {
-  JobSpec s;
-  s.kind = JobKind::kMpi;
-  s.nprocs = nprocs;
-  s.argv = std::move(argv);
-  return s;
-}
 
 /// Drives a batch to completion (workers booted first, chaos optional).
 BatchReport run(RetryBed& bed, StandaloneJets& jets, ChaosEngine* chaos,
                 std::vector<JobSpec> jobs,
                 sim::Duration submit_delay = 0) {
-  BatchReport report;
-  bed.engine.spawn("driver",
-                   [](StandaloneJets& jets, ChaosEngine* chaos,
-                      std::vector<JobSpec> jobs, sim::Duration delay,
-                      BatchReport& out) -> sim::Task<void> {
-                     co_await jets.wait_workers();
-                     if (chaos) chaos->start();
-                     if (delay > 0) co_await sim::delay(delay);
-                     out = co_await jets.run_batch(std::move(jobs));
-                   }(jets, chaos, std::move(jobs), submit_delay, report));
-  bed.engine.run_until(sim::seconds(600));
-  EXPECT_LT(bed.engine.now(), sim::seconds(600)) << "batch did not settle";
-  return report;
+  return bed.run_chaos(jets, chaos, std::move(jobs), submit_delay);
 }
 
 // --- Taxonomy: one scenario per failure class --------------------------------

@@ -1,20 +1,33 @@
-// Differential/property tests for the engine's indexed event core.
+// Differential/property tests for the engine's indexed event core and the
+// service's SoA entity tables.
 //
-// The slab + generation scheme (compact {time, seq, slot, gen} heap
-// entries, epoch-based cancellation, lazy-deletion compaction) must yield
-// the *exact* event execution order of a straightforward fat-event heap:
-// live events sorted by (time, seq), with cancelled timers and killed
-// actors' resumptions silently skipped. These tests drive the real engine
-// and an independent reference model from the same randomly generated
-// script of schedule/cancel/spawn/kill operations and compare orders, and
-// check same-seed runs hash identically (golden-trace determinism).
+// Part 1 — event order. The slab + generation scheme (compact {time, seq,
+// slot, gen} heap entries, epoch-based cancellation, lazy-deletion
+// compaction) must yield the *exact* event execution order of a
+// straightforward fat-event heap: live events sorted by (time, seq), with
+// cancelled timers and killed actors' resumptions silently skipped. These
+// tests drive the real engine and an independent reference model from the
+// same randomly generated script of schedule/cancel/spawn/kill operations
+// and compare orders, and check same-seed runs hash identically
+// (golden-trace determinism).
+//
+// Part 2 — table churn. The worker SlotMap and the service's lazy-deletion
+// PendingQueue/ReadyPool (core/service.hh, core/table.hh) replace map
+// scans on the million-worker hot path; random enlist/evict/re-enlist and
+// submit/cancel/dispatch scripts are replayed against naive map/vector
+// reference models, entry for entry, including the slot-recycling ABA
+// cases the generation counters and tickets exist for.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <optional>
+#include <set>
 #include <vector>
 
+#include "core/service.hh"
+#include "core/table.hh"
 #include "sim/sim.hh"
 
 namespace jets::sim {
@@ -265,3 +278,247 @@ TEST(OrderDifferential, KilledActorsResumptionsAreSkippedInPlace) {
 
 }  // namespace
 }  // namespace jets::sim
+
+namespace jets::core {
+
+/// Test-only window into Service's private table types (befriended there).
+struct ServiceTestAccess {
+  using PendingQueue = Service::PendingQueue;
+  using ReadyPool = Service::ReadyPool;
+};
+
+namespace {
+
+using sim::Rng;
+
+// --- SlotMap churn vs std::map -------------------------------------------
+//
+// Worker lifecycle: enlist mints a handle, EOF erases the slot, the next
+// enlistment recycles it under a bumped generation. The reference model is
+// a plain map keyed by the minted handle — a stale handle (erased, or its
+// slot since recycled) must read as absent, never as the new tenant.
+
+class TableChurnTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TableChurnTest, SlotMapMatchesMapUnderEnlistEvictReenlist) {
+  Rng rng(GetParam());
+  SlotMap<int> table;
+  std::map<SlotMap<int>::Id, int> ref;
+  std::vector<SlotMap<int>::Id> minted;  // every handle ever issued
+  int next_value = 0;
+
+  for (int op = 0; op < 2'000; ++op) {
+    const auto roll = rng.uniform_int(0, 9);
+    if (roll < 4 || minted.empty()) {  // enlist
+      const int v = next_value++;
+      const auto id = table.insert(v);
+      EXPECT_FALSE(ref.contains(id)) << "recycled slot aliased a live handle";
+      ref[id] = v;
+      minted.push_back(id);
+    } else if (roll < 7) {  // evict/EOF: erase a random handle, maybe stale
+      const auto id = minted[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(minted.size()) - 1))];
+      table.erase(id);
+      ref.erase(id);
+    } else {  // lookup a random handle, maybe stale
+      const auto id = minted[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(minted.size()) - 1))];
+      const int* got = table.find(id);
+      const auto it = ref.find(id);
+      ASSERT_EQ(got != nullptr, it != ref.end());
+      if (got != nullptr) EXPECT_EQ(*got, it->second);
+    }
+    ASSERT_EQ(table.size(), ref.size());
+  }
+  // The slab never grew past the population high-water (LIFO reuse).
+  EXPECT_LE(table.slab_high_water(), minted.size());
+  // for_each visits exactly the live population.
+  std::set<int> live_values, ref_values;
+  table.for_each([&](SlotMap<int>::Id, int v) { live_values.insert(v); });
+  for (const auto& [id, v] : ref) ref_values.insert(v);
+  EXPECT_EQ(live_values, ref_values);
+}
+
+// --- PendingQueue churn vs a naive FIFO vector ---------------------------
+//
+// Submit/cancel/dispatch/backfill scripts. The reference keeps live jobs in
+// a plain vector in submission order; erase is O(n) remove, backfill is a
+// literal (priority desc, FIFO) scan. The real queue's lazy deletion,
+// ticket retirement, and compaction must be invisible next to that.
+
+struct RefJob {
+  JobId id = 0;
+  int priority = 0;
+  std::uint32_t width = 0;
+};
+
+class QueueChurnTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, bool>> {};
+
+TEST_P(QueueChurnTest, PendingQueueMatchesNaiveFifo) {
+  const auto [seed, buckets] = GetParam();
+  Rng rng(seed);
+  ServiceTestAccess::PendingQueue q;
+  q.set_buckets(buckets);
+  std::vector<RefJob> ref;  // live jobs, submission order
+  JobId next_id = 1;
+
+  for (int op = 0; op < 4'000; ++op) {
+    const auto roll = rng.uniform_int(0, 9);
+    if (roll < 4) {  // submit (or retry-requeue: same path, fresh ticket)
+      RefJob j{next_id++, static_cast<int>(rng.uniform_int(0, 3)),
+               static_cast<std::uint32_t>(rng.uniform_int(1, 8))};
+      q.push_back(j.id, j.priority, j.width);
+      ref.push_back(j);
+    } else if (roll < 6 && next_id > 1) {  // cancel/settle a random id
+      const JobId id = static_cast<JobId>(
+          rng.uniform_int(1, static_cast<std::int64_t>(next_id) - 1));
+      q.erase(id);  // no-op when not queued — e.g. already dispatched
+      std::erase_if(ref, [id](const RefJob& j) { return j.id == id; });
+    } else if (roll < 8) {  // FIFO dispatch
+      ASSERT_EQ(q.empty(), ref.empty());
+      if (!ref.empty()) {
+        EXPECT_EQ(q.front(), ref.front().id);
+        EXPECT_EQ(q.front_width(), ref.front().width);
+        q.pop_front();
+        ref.erase(ref.begin());
+      }
+    } else if (buckets) {  // backfill dispatch under a random capacity
+      const auto cap = static_cast<std::uint32_t>(rng.uniform_int(1, 8));
+      const std::optional<JobId> got =
+          q.pop_first_fit([cap](std::uint32_t w) { return w <= cap; });
+      // Reference: first fit in (priority desc, submission) order.
+      std::optional<JobId> want;
+      for (int prio = 3; prio >= 0 && !want; --prio) {
+        for (const RefJob& j : ref) {
+          if (j.priority == prio && j.width <= cap) {
+            want = j.id;
+            break;
+          }
+        }
+      }
+      ASSERT_EQ(got, want);
+      if (want) {
+        std::erase_if(ref, [&](const RefJob& j) { return j.id == *want; });
+      }
+    }
+    ASSERT_EQ(q.size(), ref.size());
+    // Lazy deletion stays bounded: stale copies never dominate live ones
+    // by more than the compaction slack.
+    ASSERT_LE(q.physical_size(), 2 * q.size() + 128);
+  }
+  // Surviving live order matches, entry for entry.
+  std::vector<JobId> got_ids, want_ids;
+  q.for_each([&](JobId id, std::uint32_t) { got_ids.push_back(id); });
+  for (const RefJob& j : ref) want_ids.push_back(j.id);
+  EXPECT_EQ(got_ids, want_ids);
+}
+
+// --- ReadyPool churn vs a naive vector -----------------------------------
+//
+// Workers enter the pool when idle, leave on claim or eviction, and their
+// handles get recycled by the SlotMap across EOF/re-enlist — the exact ABA
+// shape the per-slot tickets guard against: a stale pool entry for a dead
+// worker must never surface as the recycled slot's new tenant.
+
+struct RefReady {
+  std::uint64_t wid = 0;
+  os::NodeId node = 0;
+  std::uint64_t arrival = 0;
+};
+
+class PoolChurnTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, bool>> {};
+
+TEST_P(PoolChurnTest, ReadyPoolMatchesNaiveVector) {
+  const auto [seed, indexed] = GetParam();
+  Rng rng(seed);
+  ServiceTestAccess::ReadyPool pool;
+  pool.set_indexed(indexed);
+  SlotMap<os::NodeId> workers;  // mints wids exactly as the service does
+  std::vector<RefReady> ref;    // pooled workers, FIFO order
+  std::vector<std::uint64_t> live_wids;
+  std::uint64_t arrivals = 0;
+
+  auto ref_remove = [&](std::uint64_t wid) {
+    std::erase_if(ref, [wid](const RefReady& r) { return r.wid == wid; });
+  };
+
+  for (int op = 0; op < 3'000; ++op) {
+    const auto roll = rng.uniform_int(0, 9);
+    if (roll < 3 || live_wids.empty()) {  // enlist + enter the pool
+      const auto node = static_cast<os::NodeId>(rng.uniform_int(0, 15));
+      const std::uint64_t wid = workers.insert(node);
+      live_wids.push_back(wid);
+      pool.push_back(wid, node);
+      ref.push_back(RefReady{wid, node, arrivals++});
+    } else if (roll < 5) {  // evict + EOF: slot goes back for recycling
+      const auto pick = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(live_wids.size()) - 1));
+      const std::uint64_t wid = live_wids[pick];
+      pool.erase(wid, workers.at(wid));
+      ref_remove(wid);
+      workers.erase(wid);
+      live_wids.erase(live_wids.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else if (roll < 7) {  // busy: leave the pool but stay enlisted
+      const auto pick = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(live_wids.size()) - 1));
+      const std::uint64_t wid = live_wids[pick];
+      pool.erase(wid, workers.at(wid));  // no-op when not pooled
+      ref_remove(wid);
+    } else if (roll < 9 || !indexed) {  // FCFS claim
+      ASSERT_EQ(pool.empty(), ref.empty());
+      if (!ref.empty()) {
+        EXPECT_EQ(pool.front(), ref.front().wid);
+        pool.erase_front(workers.at(ref.front().wid));
+        ref.erase(ref.begin());
+      }
+    } else if (!ref.empty()) {  // network-aware gang claim
+      const auto count = static_cast<std::size_t>(rng.uniform_int(
+          1, std::min<std::int64_t>(4, static_cast<std::int64_t>(ref.size()))));
+      // Reference min-span window over the (node, arrival)-sorted view.
+      std::vector<RefReady> sorted = ref;
+      std::sort(sorted.begin(), sorted.end(),
+                [](const RefReady& a, const RefReady& b) {
+                  if (a.node != b.node) return a.node < b.node;
+                  return a.arrival < b.arrival;
+                });
+      std::size_t best = 0;
+      os::NodeId best_span = std::numeric_limits<os::NodeId>::max();
+      for (std::size_t i = 0; i + count <= sorted.size(); ++i) {
+        const os::NodeId span = sorted[i + count - 1].node - sorted[i].node;
+        if (span < best_span) {
+          best_span = span;
+          best = i;
+        }
+      }
+      std::vector<std::uint64_t> want;
+      for (std::size_t k = best; k < best + count; ++k) {
+        want.push_back(sorted[k].wid);
+      }
+      EXPECT_EQ(pool.claim_min_span(count), want);
+      for (std::uint64_t wid : want) ref_remove(wid);
+    }
+    ASSERT_EQ(pool.size(), ref.size());
+    ASSERT_LE(pool.physical_size(), 2 * pool.size() + 128);
+  }
+  // Surviving FIFO matches entry for entry — no stale-ticket survivors, no
+  // recycled-slot aliases.
+  std::vector<std::uint64_t> want_fifo;
+  for (const RefReady& r : ref) want_fifo.push_back(r.wid);
+  EXPECT_EQ(pool.live_fifo(), want_fifo);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TableChurnTest,
+                         ::testing::Values(1u, 7u, 42u, 0xfeedfaceu, 31337u));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, QueueChurnTest,
+    ::testing::Combine(::testing::Values(1u, 7u, 42u, 0xfeedfaceu, 31337u),
+                       ::testing::Bool()));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, PoolChurnTest,
+    ::testing::Combine(::testing::Values(1u, 7u, 42u, 0xfeedfaceu, 31337u),
+                       ::testing::Bool()));
+
+}  // namespace
+}  // namespace jets::core
