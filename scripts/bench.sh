@@ -71,16 +71,46 @@ JETS_LARGE_N=4 "$BUILD/bench/fig13_load_level" \
   | sed -n 's/^# largeN /fig13 /p' >> "$large_n_txt"
 cat "$large_n_txt"
 
+# Crash-recovery trajectory: the fig10 recover scenario's MTTR and
+# rescued/restarted counters, so recovery-path regressions show up in the
+# same time series as the launch-rate numbers.
+echo "== crash-recovery scenario (fig10 recover) =="
+recover_txt="$trace_dir/recover.txt"
+JETS_RECOVER=1 "$BUILD/bench/fig10_faulty" \
+  | sed -n 's/^# recover //p' > "$recover_txt"
+cat "$recover_txt"
+
 commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 date_iso=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 
 entry=$(python3 - "$micro_json" "$commit" "$date_iso" "$fig06_ns" "$fig09_ns" \
-        "$large_n_txt" <<'PY'
+        "$large_n_txt" "$recover_txt" <<'PY'
 import json, platform, sys
 
-micro_path, commit, date_iso, fig06_ns, fig09_ns, large_n_path = sys.argv[1:7]
+(micro_path, commit, date_iso, fig06_ns, fig09_ns, large_n_path,
+ recover_path) = sys.argv[1:8]
 with open(micro_path) as f:
     micro = json.load(f)
+
+# Rows: "pass=<name> k=v ..." from the fig10 recover trailer; numbers are
+# kept numeric, yes/NO flags become booleans.
+recovery = {}
+with open(recover_path) as f:
+    for line in f:
+        toks = line.split()
+        if not toks or not toks[0].startswith("pass="):
+            continue
+        point = {}
+        for kv in toks[1:]:
+            k, _, v = kv.partition("=")
+            if v in ("yes", "NO"):
+                point[k] = v == "yes"
+            else:
+                try:
+                    point[k] = float(v) if "." in v else int(v, 0)
+                except ValueError:
+                    point[k] = v
+        recovery[toks[0].partition("=")[2]] = point
 
 # Rows: "<bench> workers=N jobs=N tasks_per_s=R makespan_s=S [utilization=U]"
 large_n = []
@@ -116,6 +146,7 @@ entry = {
         "fig09_bgp_util": int(fig09_ns),
     },
     "large_n": large_n,
+    "recovery": recovery,
     "micro": benches,
 }
 print(json.dumps(entry, indent=2))

@@ -6,7 +6,8 @@
 #   scripts/check.sh --all      # both of the above
 #
 # The default preset run is the ROADMAP tier-1 gate: every ctest entry
-# (labels unit, property, chaos, retry, obs, scale) must pass, and the
+# (labels unit, property, chaos, retry, obs, scale, recovery) must pass,
+# and the
 # determinism smoke re-runs fig06_seq_rate twice and byte-diffs the
 # output — the engine's event order must be a pure function of the
 # inputs — then re-runs it with JETS_TRACE=1 and checks that, with the
@@ -15,8 +16,13 @@
 # that, scheduler_equiv.sh replays all 15 figure benches against the
 # committed golden manifest (hot-path refactors must not move a byte),
 # and the scale suite re-runs at 10^5 workers — release build only,
-# under a wall-clock budget. The sanitizer pass re-runs the fault-heavy
-# suites (-L chaos and -L retry) plus the property suites (including the
+# under a wall-clock budget. The default preset also runs a crash-recovery
+# smoke: the fig10 recover scenario (JETS_RECOVER=1) must report replay
+# digest/snapshot byte-equality and verbatim preservation of pre-crash
+# settled records. The sanitizer pass re-runs the fault-heavy
+# suites (-L chaos and -L retry), the recovery suite (-L recovery, whose
+# codec tests fuzz the snapshot reader's bounds checks), plus the
+# property suites (including the
 # SoA-table churn differentials), the scale suite at its small default N,
 # the observability suite (-L obs), and the engine/sync tests, which
 # exercise the slab allocators' recycling paths hardest.
@@ -65,6 +71,17 @@ if [[ "$run_default" == 1 ]]; then
   fi
   echo "tracing smoke: OK"
 
+  echo "== crash-recovery smoke: fig10 recover scenario (checkpoint/restore) =="
+  JETS_RECOVER=1 ./build/bench/fig10_faulty > "$tmpdir/fig10_recover.txt"
+  for want in 'digest_match=yes' 'snapshot_match=yes' 'preserved_match=yes'; do
+    if ! grep -q "$want" "$tmpdir/fig10_recover.txt"; then
+      echo "crash-recovery smoke FAILED: missing '$want'" >&2
+      grep '^# ' "$tmpdir/fig10_recover.txt" >&2 || true
+      exit 1
+    fi
+  done
+  echo "crash-recovery smoke: OK"
+
   echo "== scheduler equivalence: 15 figures vs golden manifest =="
   ./scripts/scheduler_equiv.sh build
 
@@ -82,6 +99,7 @@ if [[ "$run_asan" == 1 ]]; then
   ctest --preset asan-ubsan --no-tests=error -L property -j "$(nproc)"
   ctest --preset asan-ubsan --no-tests=error -L scale -j "$(nproc)"
   ctest --preset asan-ubsan --no-tests=error -L obs -j "$(nproc)"
+  ctest --preset asan-ubsan --no-tests=error -L recovery -j "$(nproc)"
   ctest --preset asan-ubsan --no-tests=error -j "$(nproc)" \
     -R '^(Engine|Channel|Semaphore|Gate|Time|Rng)\.'
 fi

@@ -7,7 +7,23 @@
 namespace jets::core {
 
 void ChaosEngine::attach_metrics(obs::MetricsRegistry& registry) {
+  if (metrics_ == &registry) return;  // idempotent re-attach
+  // Switching registries (a restored Service re-binding a fresh one): seed
+  // the new registry with the counts accumulated so far, so mirrored
+  // counters never run behind counters_.
   metrics_ = &registry;
+  const auto sync = [this](const char* name, std::size_t v) {
+    obs::Counter& c = metrics_->counter(name);
+    if (c.value < v) c.inc(v - c.value);
+  };
+  sync("jets.chaos.pilots_killed", counters_.pilots_killed);
+  sync("jets.chaos.connections_reset", counters_.connections_reset);
+  sync("jets.chaos.nodes_stalled", counters_.nodes_stalled);
+  sync("jets.chaos.workers_hung", counters_.workers_hung);
+  sync("jets.chaos.workers_released", counters_.workers_released);
+  sync("jets.chaos.nodes_degraded", counters_.nodes_degraded);
+  sync("jets.chaos.services_crashed", counters_.services_crashed);
+  sync("jets.chaos.services_restored", counters_.services_restored);
 }
 
 void ChaosEngine::bump(std::size_t ChaosCounters::* member, std::size_t d) {
@@ -22,6 +38,10 @@ void ChaosEngine::bump(std::size_t ChaosCounters::* member, std::size_t d) {
       : member == &ChaosCounters::workers_hung ? "jets.chaos.workers_hung"
       : member == &ChaosCounters::workers_released
           ? "jets.chaos.workers_released"
+      : member == &ChaosCounters::services_crashed
+          ? "jets.chaos.services_crashed"
+      : member == &ChaosCounters::services_restored
+          ? "jets.chaos.services_restored"
           : "jets.chaos.nodes_degraded";
   metrics_->counter(name).inc(d);
 }
@@ -113,6 +133,18 @@ void ChaosEngine::fire(const Fault& f) {
           if (!victim->hung()) return;
           victim->release();
           bump(&ChaosCounters::workers_released);
+        });
+      }
+      break;
+    }
+    case FaultKind::kServiceCrash: {
+      if (!crash_cb_) return;
+      crash_cb_();
+      bump(&ChaosCounters::services_crashed);
+      if (restore_cb_) {
+        machine_->engine().call_in(f.duration, [this] {
+          restore_cb_();
+          bump(&ChaosCounters::services_restored);
         });
       }
       break;

@@ -15,6 +15,11 @@
 //                  the service-side liveness deadline can catch this.
 //   kSlowNode    — multiply a node's fork/exec and compute costs (thermal
 //                  throttling, a sick DIMM). Optionally heals later.
+//   kServiceCrash— the service process itself dies and is restored from a
+//                  checkpoint `duration` later (the service-crash-and-
+//                  recover fault class). The engine only orchestrates: the
+//                  harness supplies crash/restore callbacks via
+//                  set_service_crash(), typically Snapshot-backed.
 //
 // Every random choice draws from one explicitly seeded sim::Rng at fire
 // time, and all faults are armed on the simulation clock, so a chaos run
@@ -22,6 +27,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <vector>
@@ -40,6 +46,7 @@ enum class FaultKind {
   kSocketStall,
   kHangWorker,
   kSlowNode,
+  kServiceCrash,
 };
 
 /// Sentinel for Fault::node: pick a target deterministically (from the
@@ -70,6 +77,8 @@ struct ChaosCounters {
   std::size_t workers_hung = 0;
   std::size_t workers_released = 0;
   std::size_t nodes_degraded = 0;
+  std::size_t services_crashed = 0;
+  std::size_t services_restored = 0;
 };
 
 class ChaosEngine {
@@ -88,6 +97,15 @@ class ChaosEngine {
   /// WorkerConfig::hang_registry register themselves here).
   void set_hang_registry(std::shared_ptr<WorkerHangRegistry> registry) {
     registry_ = std::move(registry);
+  }
+  /// Callbacks for kServiceCrash faults: `crash` tears the service down
+  /// (typically after taking a Snapshot), `restore` brings it back. The
+  /// restore fires `duration` after the crash (0 = next event at the same
+  /// time). Without these, kServiceCrash faults are inert.
+  void set_service_crash(std::function<void()> crash,
+                         std::function<void()> restore) {
+    crash_cb_ = std::move(crash);
+    restore_cb_ = std::move(restore);
   }
 
   /// Adds one fault to the plan. Must be called before start().
@@ -108,7 +126,10 @@ class ChaosEngine {
   /// Mirrors every ChaosCounters bump into `registry` as "jets.chaos.*"
   /// counters, so a harness snapshotting one registry sees injected-fault
   /// counts next to the service's failure taxonomy. Call before start();
-  /// the registry must outlive the engine.
+  /// the registry must outlive the engine. Idempotent: re-attaching the
+  /// same registry is a no-op, and attaching a different one first syncs
+  /// the accumulated counts into it — a restored Service re-binding its
+  /// registry may call this again safely.
   void attach_metrics(obs::MetricsRegistry& registry);
 
  private:
@@ -124,6 +145,8 @@ class ChaosEngine {
   std::vector<os::Machine::Pid> pilots_;
   std::vector<os::NodeId> nodes_;
   std::shared_ptr<WorkerHangRegistry> registry_;
+  std::function<void()> crash_cb_;
+  std::function<void()> restore_cb_;
   ChaosCounters counters_;
   obs::MetricsRegistry* metrics_ = nullptr;
   bool started_ = false;

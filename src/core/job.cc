@@ -27,6 +27,7 @@ const char* to_string(FailureReason reason) {
     case FailureReason::kLaunchTimeout: return "launch-timeout";
     case FailureReason::kJobDeadline: return "job-deadline";
     case FailureReason::kServiceAbort: return "service-abort";
+    case FailureReason::kServiceRestart: return "service-restart";
   }
   return "unknown";
 }

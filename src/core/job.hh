@@ -47,8 +47,12 @@ enum class FailureReason : std::uint8_t {
   kJobDeadline,       // the job-level timeout expired
   kServiceAbort,      // the service gave up: the machine shrank below the
                       // job's width, or the job was aborted administratively
+  kServiceRestart,    // the service itself crashed and was restored from a
+                      // checkpoint; the attempt died with it. Never charged
+                      // to any retry budget — the job is blameless and the
+                      // infrastructure event is the service's own.
 };
-inline constexpr std::size_t kFailureReasonCount = 8;
+inline constexpr std::size_t kFailureReasonCount = 9;
 
 const char* to_string(FailureReason reason);
 
@@ -58,7 +62,8 @@ constexpr bool is_infra_failure(FailureReason r) {
   return r == FailureReason::kWorkerLost ||
          r == FailureReason::kLivenessEvicted ||
          r == FailureReason::kGangPartnerLost ||
-         r == FailureReason::kLaunchTimeout;
+         r == FailureReason::kLaunchTimeout ||
+         r == FailureReason::kServiceRestart;
 }
 
 /// Retry discipline applied when an attempt fails. The service holds the
@@ -89,6 +94,8 @@ struct RetryPolicy {
   double backoff_jitter = 0.25;
   /// Seed for the service's backoff-jitter rng stream.
   std::uint64_t jitter_seed = 2011;
+
+  friend bool operator==(const RetryPolicy&, const RetryPolicy&) = default;
 };
 
 /// One attempt of one job, as recorded in JobRecord::history.
@@ -101,6 +108,8 @@ struct AttemptRecord {
   /// Backoff delay scheduled after this attempt failed (0 if none — the
   /// attempt succeeded or the job settled for good).
   sim::Duration backoff = 0;
+
+  friend bool operator==(const AttemptRecord&, const AttemptRecord&) = default;
 };
 
 struct JobSpec {
@@ -124,6 +133,8 @@ struct JobSpec {
     if (kind == JobKind::kSequential) return 1;
     return (nprocs + ppn - 1) / ppn;
   }
+
+  friend bool operator==(const JobSpec&, const JobSpec&) = default;
 };
 
 /// Final state of one job as tracked by the service. kQuarantined is the
@@ -160,6 +171,8 @@ struct JobRecord {
     if (finished_at < 0 || started_at < 0) return 0.0;
     return sim::to_seconds(finished_at - started_at);
   }
+
+  friend bool operator==(const JobRecord&, const JobRecord&) = default;
 };
 
 /// FNV-1a digest of one record's observable schedule: status, attempt and

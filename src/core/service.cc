@@ -43,19 +43,31 @@ void Service::init_metrics() {
     metrics_ = owned_metrics_.get();
   }
   obs::MetricsRegistry& m = *metrics_;
-  m_completed_ = &m.counter("jets.service.jobs.completed");
-  m_failed_ = &m.counter("jets.service.jobs.failed");
-  m_quarantined_ = &m.counter("jets.service.jobs.quarantined");
-  m_evicted_ = &m.counter("jets.service.workers.evicted");
-  m_reenlisted_ = &m.counter("jets.service.workers.reenlisted");
-  m_heartbeats_ = &m.counter("jets.service.workers.heartbeats");
-  m_blacklist_rejections_ = &m.counter("jets.service.blacklist.rejections");
-  m_blacklist_paroles_ = &m.counter("jets.service.blacklist.paroles");
-  m_retries_scheduled_ = &m.counter("jets.service.retry.scheduled");
+  // reg() feeds counter_index_ as a side effect: the checkpoint codec
+  // serializes counters by walking the index, and restore assigns back
+  // through it, so adding a counter here automatically checkpoints it.
+  const auto reg = [this, &m](const char* name) {
+    obs::Counter* c = &m.counter(name);
+    counter_index_.emplace_back(name, c);
+    return c;
+  };
+  m_completed_ = reg("jets.service.jobs.completed");
+  m_failed_ = reg("jets.service.jobs.failed");
+  m_quarantined_ = reg("jets.service.jobs.quarantined");
+  m_evicted_ = reg("jets.service.workers.evicted");
+  m_reenlisted_ = reg("jets.service.workers.reenlisted");
+  m_heartbeats_ = reg("jets.service.workers.heartbeats");
+  m_blacklist_rejections_ = reg("jets.service.blacklist.rejections");
+  m_blacklist_paroles_ = reg("jets.service.blacklist.paroles");
+  m_retries_scheduled_ = reg("jets.service.retry.scheduled");
+  m_restores_ = reg("jets.service.restore.count");
+  m_reconciled_ = reg("jets.service.restore.workers_reconciled");
+  m_rescued_ = reg("jets.service.restore.jobs_rescued");
+  m_ghosts_dropped_ = reg("jets.service.restore.ghosts_dropped");
   for (std::size_t i = 0; i < kFailureReasonCount; ++i) {
-    m_failures_[i] =
-        &m.counter(std::string("jets.service.failures.") +
-                   to_string(static_cast<FailureReason>(i)));
+    m_failures_[i] = reg((std::string("jets.service.failures.") +
+                          to_string(static_cast<FailureReason>(i)))
+                             .c_str());
   }
   m_workers_connected_ = &m.gauge("jets.service.workers.connected");
   m_jobs_running_ = &m.gauge("jets.service.jobs.running");
@@ -81,15 +93,36 @@ Service::Service(os::Machine& machine, const os::AppRegistry& apps,
 
 Service::~Service() {
   for (sim::ActorId id : actors_) machine_->engine().kill(id);
+  // Timer audit: every service-owned engine callback captures `this`, so a
+  // service destroyed mid-run (the crash-and-recover path, or a test
+  // tearing down early) must disarm them all — job deadline/backoff timers,
+  // worker liveness timers, blacklist-parole re-offers, and the restore
+  // reaper. Each cancel is generation-checked, so already-fired or
+  // never-armed handles are no-ops.
+  jobs_.for_each([](JobId, Job& job) {
+    job.timeout.cancel();
+    job.retry_timer.cancel();
+  });
+  workers_.for_each([](WorkerId, Worker& w) {
+    w.liveness_timer.cancel();
+    w.reoffer_timer.cancel();
+  });
+  reconcile_timer_.cancel();
 }
 
 void Service::start() {
   if (started_) return;
   started_ = true;
-  addr_ = net::Address{host_, machine_->allocate_port()};
+  // A snapshot-restored service rebinds the *checkpointed* address so
+  // surviving pilots redialing their configured service endpoint land here.
+  if (addr_.port == 0) addr_ = net::Address{host_, machine_->allocate_port()};
   listener_ = machine_->network().listen(addr_);
   actors_.push_back(machine_->engine().spawn("jets-accept", accept_loop()));
   actors_.push_back(machine_->engine().spawn("jets-dispatch", dispatch_loop()));
+  // Jobs restored (or submitted) before start() are already queued; give
+  // the dispatch loop its first kick so they are not stranded until the
+  // next worker event.
+  if (!queue_.empty()) kick();
 }
 
 JobId Service::submit(JobSpec spec) {
@@ -251,6 +284,17 @@ sim::Task<void> Service::worker_handler(net::SocketPtr sock) {
         sock->close();
         break;  // refuse the node outright
       }
+      // Heartbeat reconciliation after a restore: while ghost workers are
+      // awaiting their pilots, a redialing pilot (its reg carries the task
+      // ids it still has in flight, see worker.cc) reclaims its
+      // checkpointed slot instead of registering as new. The awaiting_
+      // guard keeps this off the never-restored hot path entirely.
+      if (awaiting_ > 0) {
+        const std::vector<std::string> inventory(m->args.begin() + 1,
+                                                 m->args.end());
+        wid = adopt_ghost(node, sock, inventory);
+        if (wid != 0) continue;
+      }
       Worker w;
       w.seq = next_worker_seq_++;
       w.node = node;
@@ -267,6 +311,22 @@ sim::Task<void> Service::worker_handler(net::SocketPtr sock) {
     } else if (m->tag == kMsgReady && wid != 0) {
       Worker& w = workers_.at(wid);
       w.liveness_timer.cancel();
+      if (w.busy && w.job != 0) {
+        // "ready" while the service still counts this worker's sequential
+        // task as running means the done never arrived — it was sent into a
+        // service outage and dropped. Fail the attempt (blameless:
+        // kServiceRestart) so the job retries instead of leaking in
+        // kRunning forever. Unreachable in normal runs: done always
+        // precedes ready and settles or requeues the job first. MPI gangs
+        // are excluded (a proxy's exit legitimately sends ready while the
+        // gang job still runs; mpiexec owns that outcome) — their
+        // job.task_id is always empty.
+        Job* j = jobs_.find(w.job);
+        if (j && j->rec.status == JobStatus::kRunning &&
+            !j->task_id.empty() && j->task_id == w.task_id) {
+          job_finished(w.job, /*status=*/1, FailureReason::kServiceRestart);
+        }
+      }
       w.busy = false;
       w.job = 0;
       w.task_id.clear();
@@ -280,8 +340,12 @@ sim::Task<void> Service::worker_handler(net::SocketPtr sock) {
           const auto ht = node_health_.find(w.node);
           if (ht != node_health_.end() && ht->second.banned &&
               ht->second.banned_until >= 0) {
-            machine_->engine().call_at(ht->second.banned_until,
-                                       [this, wid] { reoffer_worker(wid); });
+            // Tracked in the worker so the destructor (and a repeat refusal)
+            // can disarm it — an untracked `this` capture here was the one
+            // timer a mid-run service teardown could not cancel.
+            w.reoffer_timer.cancel();
+            w.reoffer_timer = machine_->engine().call_at(
+                ht->second.banned_until, [this, wid] { reoffer_worker(wid); });
           }
           continue;
         }
@@ -612,11 +676,19 @@ void Service::job_finished(JobId id, int status, FailureReason reason) {
   }
 
   job.rec.last_reason = reason;
+  job.restored_running = false;  // the rescued attempt did not survive
   m_failures_[static_cast<std::size_t>(reason)]->inc();
-  if (is_infra_failure(reason)) {
-    ++job.rec.infra_failures;
-  } else {
-    ++job.rec.app_failures;
+  // A service restart is nobody's failure *budget-wise*: the attempt died
+  // because the scheduler itself did. It is recorded in the history (above)
+  // and the taxonomy counter, but charged to neither budget and exempt from
+  // both caps — a crash must never consume a job's retries.
+  const bool restart = reason == FailureReason::kServiceRestart;
+  if (!restart) {
+    if (is_infra_failure(reason)) {
+      ++job.rec.infra_failures;
+    } else {
+      ++job.rec.app_failures;
+    }
   }
 
   const RetryPolicy& pol = policy_for(job);
@@ -628,8 +700,8 @@ void Service::job_finished(JobId id, int status, FailureReason reason) {
   const bool terminal_reason = reason == FailureReason::kJobDeadline ||
                                reason == FailureReason::kServiceAbort;
   if (!terminal_reason && !job.deadline_passed &&
-      charged < pol.max_attempts &&
-      job.rec.infra_failures < pol.max_infra_failures) {
+      (restart || (charged < pol.max_attempts &&
+                   job.rec.infra_failures < pol.max_infra_failures))) {
     // Delayed requeue through the retry engine — never straight back to
     // the head of the queue.
     job.rec.status = JobStatus::kPending;
@@ -706,6 +778,9 @@ void Service::settle_job(Job& job, JobStatus status, FailureReason reason) {
   job.rec.last_reason = reason;
   job.rec.finished_at = machine_->engine().now();
   if (status == JobStatus::kDone) {
+    // A restored-running attempt that made it to kDone survived a service
+    // crash end to end — the recovery path's headline number.
+    if (job.restored_running) m_rescued_->inc();
     m_completed_->inc();
   } else if (status == JobStatus::kQuarantined) {
     m_quarantined_->inc();
@@ -751,13 +826,18 @@ std::size_t Service::potential_capacity() const {
   // Without blacklisting, no node is ever banned, so the count is just two
   // maintained counters — O(1) on the EOF/eviction path, which calls this
   // once per departure (10^5..10^6 times in a teardown storm).
-  if (config_.blacklist_after == 0) return connected_ + evicted_live_;
+  // Ghosts awaiting reconciliation count as capacity: their pilots may
+  // redial any moment, so reaping a wide job during the restore grace would
+  // be premature.
+  if (config_.blacklist_after == 0) {
+    return connected_ + evicted_live_ + awaiting_;
+  }
   std::size_t n = 0;
   workers_.for_each([&](WorkerId, const Worker& w) {
     if (w.connected) {
       ++n;
-    } else if (w.evicted && !node_banned(w.node)) {
-      ++n;  // could still re-enlist
+    } else if ((w.evicted || w.awaiting) && !node_banned(w.node)) {
+      ++n;  // could still re-enlist / reconcile
     }
   });
   return n;
@@ -881,6 +961,105 @@ void Service::reoffer_worker(WorkerId wid) {
   m_reenlisted_->inc();
   ready_.push_back(wid, w.node);
   kick();
+}
+
+// --- Restore reconciliation -------------------------------------------------
+//
+// checkpoint()/apply_snapshot() live in snapshot.cc with the codec; the two
+// functions below are the runtime half of recovery: deciding stale-vs-live
+// for each checkpointed worker as its pilot redials (or doesn't).
+
+Service::WorkerId Service::adopt_ghost(
+    os::NodeId node, net::SocketPtr sock,
+    const std::vector<std::string>& inventory) {
+  // Prefer the ghost whose outstanding task the pilot announces (that pins
+  // the identity exactly); otherwise any ghost on the same node, lowest
+  // registration seq first so the match is deterministic.
+  WorkerId task_match = 0;
+  WorkerId node_match = 0;
+  std::uint64_t task_seq = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t node_seq = std::numeric_limits<std::uint64_t>::max();
+  workers_.for_each([&](WorkerId wid, const Worker& w) {
+    if (!w.awaiting || w.node != node) return;
+    if (!w.task_id.empty() &&
+        std::find(inventory.begin(), inventory.end(), w.task_id) !=
+            inventory.end()) {
+      if (w.seq < task_seq) {
+        task_seq = w.seq;
+        task_match = wid;
+      }
+    }
+    if (w.seq < node_seq) {
+      node_seq = w.seq;
+      node_match = wid;
+    }
+  });
+  const WorkerId wid = task_match != 0 ? task_match : node_match;
+  if (wid == 0) return 0;
+
+  Worker& w = workers_.at(wid);
+  w.awaiting = false;
+  --awaiting_;
+  w.evicted = false;  // a redialing pilot is alive by definition
+  w.sock = std::move(sock);
+  w.connected = true;
+  w.last_heard = machine_->engine().now();
+  ++connected_;
+  m_workers_connected_->set(static_cast<std::int64_t>(connected_));
+  peak_capacity_ = std::max(peak_capacity_, connected_);
+  m_reconciled_->inc();
+
+  if (w.busy && w.job != 0) {
+    Job* j = jobs_.find(w.job);
+    const bool task_alive =
+        !w.task_id.empty() &&
+        std::find(inventory.begin(), inventory.end(), w.task_id) !=
+            inventory.end();
+    if (j && j->rec.status == JobStatus::kRunning && !task_alive) {
+      // The checkpoint says this worker runs a task, the pilot says it
+      // doesn't: the task finished during the outage and its done message
+      // was lost with the dead service. The attempt cannot be trusted —
+      // fail it (blameless) so the job retries.
+      job_finished(w.job, /*status=*/1, FailureReason::kServiceRestart);
+    } else if (j && task_alive && config_.worker_liveness_timeout > 0) {
+      w.liveness_timer.cancel();
+      w.liveness_timer = machine_->engine().call_in(
+          config_.worker_liveness_timeout, [this, wid] { liveness_check(wid); });
+    }
+  }
+  if (awaiting_ == 0) {
+    reconcile_timer_.cancel();
+    check_all_done();
+  }
+  return wid;
+}
+
+void Service::reconcile_ghosts() {
+  // The restore grace ran out: any ghost still awaiting its pilot is
+  // declared dead. Their running jobs are requeued (kServiceRestart) and
+  // the slots recycled, exactly like an EOF would have done.
+  std::vector<WorkerId> stale;
+  workers_.for_each([&](WorkerId wid, const Worker& w) {
+    if (w.awaiting) stale.push_back(wid);
+  });
+  for (WorkerId wid : stale) {
+    Worker& w = workers_.at(wid);
+    w.awaiting = false;
+    --awaiting_;
+    m_ghosts_dropped_->inc();
+    if (w.busy && w.job != 0) {
+      Job* j = jobs_.find(w.job);
+      if (j && j->rec.status == JobStatus::kRunning) {
+        job_finished(w.job, /*status=*/1, FailureReason::kServiceRestart);
+      }
+    }
+    workers_.erase(wid);
+  }
+  if (!stale.empty()) {
+    reap_unsatisfiable();
+    kick();
+    check_all_done();
+  }
 }
 
 void Service::release_undispatched(const std::vector<WorkerId>& claimed,

@@ -74,6 +74,8 @@
 
 namespace jets::core {
 
+struct Snapshot;  // core/snapshot.hh
+
 /// Queue discipline for picking the next job to place.
 enum class SchedPolicy {
   kFifo,              // paper default: strict head-of-line
@@ -127,6 +129,13 @@ class Service {
     /// met — fail the job with kServiceAbort instead of letting wait_all
     /// hang on it.
     bool fail_unsatisfiable = true;
+    /// Grace period after a restore-from-snapshot during which checkpointed
+    /// workers are carried as "ghosts": they count toward capacity and hold
+    /// their slots for heartbeat reconciliation (a surviving pilot that
+    /// redials and re-registers reclaims its identity). Ghosts still absent
+    /// when the grace expires are dropped and their running jobs requeued
+    /// with kServiceRestart.
+    sim::Duration restore_grace = sim::seconds(10);
     /// Metrics sink. The service registers its instruments here (dotted
     /// "jets.service.*" names, see DESIGN.md §8) so harnesses can snapshot
     /// one registry across components. nullptr = the service owns a
@@ -143,6 +152,12 @@ class Service {
   Service(os::Machine& machine, const os::AppRegistry& apps, os::NodeId host,
           Config config);
   Service(os::Machine& machine, const os::AppRegistry& apps, os::NodeId host);
+  /// Recovery constructor: builds a fresh service whose scheduler state is
+  /// restored from `snap` (see core/snapshot.hh). Call start() afterwards —
+  /// it rebinds the *checkpointed* listen address so surviving pilots can
+  /// redial it. Throws SnapshotError if the snapshot is malformed.
+  Service(os::Machine& machine, const os::AppRegistry& apps, os::NodeId host,
+          Config config, const Snapshot& snap);
   ~Service();
   Service(const Service&) = delete;
   Service& operator=(const Service&) = delete;
@@ -176,6 +191,14 @@ class Service {
   const JobRecord& record(JobId id) const { return jobs_.at(id).rec; }
   std::vector<JobRecord> records() const;
 
+  /// Serializes the full scheduler state — job table with retry budgets and
+  /// attempt history, worker table, pending-queue order, blacklist state,
+  /// service-owned timer deadlines, the retry rng stream, counters, and the
+  /// obs span journal — into a versioned Snapshot (core/snapshot.hh).
+  /// Pure: takes no locks (single-threaded), schedules no events, draws no
+  /// randomness, mutates nothing, so checkpointing cannot perturb the run.
+  Snapshot checkpoint() const;
+
   /// The metrics registry this service reports to: Config::metrics when
   /// set, otherwise a private one. All the counter accessors below are
   /// views over it — the registry holds the truth.
@@ -208,6 +231,22 @@ class Service {
   }
   /// Delayed requeues the retry engine has scheduled.
   std::size_t retries_scheduled() const { return m_retries_scheduled_->value; }
+
+  // Recovery counters (checkpoint/restore path; see core/snapshot.hh).
+  /// Times this service was constructed from a snapshot (0 or 1).
+  std::size_t restores() const { return m_restores_->value; }
+  /// Checkpointed workers that redialed and reclaimed their identity.
+  std::size_t workers_reconciled() const { return m_reconciled_->value; }
+  /// Running jobs whose attempt survived the crash (worker + task intact
+  /// across the restore) and later settled successfully.
+  std::size_t jobs_rescued() const { return m_rescued_->value; }
+  /// Checkpointed workers dropped because they never redialed within
+  /// Config::restore_grace.
+  std::size_t ghosts_dropped() const { return m_ghosts_dropped_->value; }
+  /// Ghost workers still awaiting reconciliation (0 once the grace ran out).
+  std::size_t awaiting_workers() const { return awaiting_; }
+  /// Engine time this service was restored from a snapshot (-1 = never).
+  sim::Time restored_at() const { return restored_at_; }
 
   /// Test hook: the ready pool holds no duplicates and only workers that
   /// are connected, idle, and not evicted.
@@ -544,6 +583,13 @@ class Service {
     sim::Time last_heard = 0;
     /// Armed while busy when worker_liveness_timeout > 0.
     sim::TimerHandle liveness_timer;
+    /// Ghost state after a restore: the worker existed in the checkpoint
+    /// but has not yet redialed the restored service. It keeps its slot and
+    /// capacity until reconciliation or the restore-grace reaper.
+    bool awaiting = false;
+    /// Armed at a ban's parole date (previously untracked — a service
+    /// destroyed mid-run would leave it firing into freed memory).
+    sim::TimerHandle reoffer_timer;
   };
 
   struct Job {
@@ -570,6 +616,9 @@ class Service {
     obs::SpanId span_attempt = 0;  // "job.attempt" (placement->settle)
     obs::SpanId span_group = 0;    // "job.group" (claim + dispatch fan-out)
     obs::SpanId span_run = 0;      // "job.run" (work handed over->outcome)
+    /// Restored in kRunning state with its attempt's workers intact; if the
+    /// attempt later succeeds it counts as "rescued" (jobs_rescued()).
+    bool restored_running = false;
   };
 
   /// Per-node eviction/blacklist bookkeeping (see Config::blacklist_after
@@ -583,6 +632,18 @@ class Service {
 
   /// Binds metrics_/m_* to Config::metrics or a private registry.
   void init_metrics();
+  /// Restore path (defined in snapshot.cc with the codec): rebuilds every
+  /// table, queue, counter, and timer from a parsed snapshot. Only the
+  /// recovery constructor calls it, on a freshly constructed service.
+  void apply_snapshot(const Snapshot& snap);
+  /// Fires once restore_grace after a restore: drops ghost workers that
+  /// never redialed, requeueing their jobs with kServiceRestart.
+  void reconcile_ghosts();
+  /// Adopts a redialing pilot into a ghost slot (heartbeat reconciliation).
+  /// `inventory` is the task ids the pilot still has in flight; returns the
+  /// adopted worker's id, or 0 if no ghost matches (register as new).
+  WorkerId adopt_ghost(os::NodeId node, net::SocketPtr sock,
+                       const std::vector<std::string>& inventory);
   /// The machine's tracer, or nullptr when tracing is off.
   obs::Tracer* tracer() const;
   /// Closes any span of `job` that is still open (settle paths).
@@ -686,6 +747,15 @@ class Service {
   std::size_t running_ = 0;
   /// Jobs waiting out a retry backoff (kPending but not in queue_).
   std::size_t backing_off_ = 0;
+  /// Ghost workers from a restore still awaiting reconciliation. The
+  /// registration path only looks for ghosts while this is nonzero, so the
+  /// normal (never-restored) path pays nothing.
+  std::size_t awaiting_ = 0;
+  /// Armed by apply_snapshot when ghosts exist; fires reconcile_ghosts.
+  sim::TimerHandle reconcile_timer_;
+  /// Engine time of the restore (-1 = never restored); fig10's recover
+  /// scenario derives MTTR from it.
+  sim::Time restored_at_ = -1;
 
   /// Instruments cached out of the registry at construction (stable
   /// addresses): one pointer-indirect add per event, no name lookups on
@@ -701,7 +771,15 @@ class Service {
   obs::Counter* m_blacklist_rejections_ = nullptr;
   obs::Counter* m_blacklist_paroles_ = nullptr;
   obs::Counter* m_retries_scheduled_ = nullptr;
+  obs::Counter* m_restores_ = nullptr;
+  obs::Counter* m_reconciled_ = nullptr;
+  obs::Counter* m_rescued_ = nullptr;
+  obs::Counter* m_ghosts_dropped_ = nullptr;
   std::array<obs::Counter*, kFailureReasonCount> m_failures_{};
+  /// Every counter above by registry name, in registration order — the
+  /// checkpoint codec walks this to serialize counter values and restore
+  /// assigns through it, so the two sides can never drift apart.
+  std::vector<std::pair<std::string, obs::Counter*>> counter_index_;
   obs::Gauge* m_workers_connected_ = nullptr;
   obs::Gauge* m_jobs_running_ = nullptr;
   obs::Histogram* m_queue_wait_ = nullptr;

@@ -1,5 +1,7 @@
 #include "core/standalone.hh"
 
+#include "core/snapshot.hh"
+
 namespace jets::core {
 
 double BatchReport::utilization() const {
@@ -90,6 +92,24 @@ sim::Task<BatchReport> StandaloneJets::run_batch(std::vector<JobSpec> jobs) {
 
 sim::Task<BatchReport> StandaloneJets::run_input(const std::string& input_text) {
   co_return co_await run_batch(parse_job_list(input_text, options_.default_ppn));
+}
+
+Snapshot StandaloneJets::checkpoint() const {
+  if (!service_) throw std::logic_error("StandaloneJets: service is down");
+  return service_->checkpoint();
+}
+
+void StandaloneJets::crash_service() {
+  if (!service_) throw std::logic_error("StandaloneJets: service is down");
+  service_.reset();  // ~Service kills actors, disarms timers, frees the port
+}
+
+void StandaloneJets::restore_service(const Snapshot& snap) {
+  if (service_) throw std::logic_error("StandaloneJets: service still up");
+  service_ = std::make_unique<Service>(*machine_, *apps_,
+                                       machine_->login_node(),
+                                       options_.service, snap);
+  service_->start();
 }
 
 }  // namespace jets::core

@@ -79,6 +79,23 @@ class StandaloneJets {
   /// Convenience: parse the §5.1 input format and run it.
   sim::Task<BatchReport> run_input(const std::string& input_text);
 
+  // Crash-recovery drill — the natural wiring for a chaos kServiceCrash
+  // fault (ChaosEngine::set_service_crash): crash on fire, restore from the
+  // latest checkpoint `duration` later. Coroutines suspended in wait_all()
+  // or wait_job() when the service crashes are never resumed (their gates
+  // die with it, exactly like RPC clients of a crashed scheduler); recovery
+  // harnesses poll the service's counters instead.
+  /// Snapshot of the live service's scheduler state (see core/snapshot.hh).
+  Snapshot checkpoint() const;
+  /// Destroys the service mid-run: actors die, timers disarm, the listen
+  /// port closes. Workers see EOF and (when configured with
+  /// reconnect_backoff) start redialing.
+  void crash_service();
+  /// Fresh service restored from `snap`, started on the checkpointed listen
+  /// address so redialing pilots find it. Requires service_up() == false.
+  void restore_service(const Snapshot& snap);
+  bool service_up() const { return service_ != nullptr; }
+
  private:
   os::Machine* machine_;
   const os::AppRegistry* apps_;

@@ -167,7 +167,44 @@ sim::Task<void> worker_main(const os::AppRegistry* apps, WorkerConfig config,
     // the socket inbox (the connection stays open — the service sees
     // silence, not EOF) but nothing is handled until release.
     if (state->hung()) co_await state->ctl->gate().wait();
-    if (!m) break;  // service closed / died: pilot exits
+    if (!m) {
+      // Service connection EOF'd. Without redial the pilot exits here (the
+      // pre-recovery behavior); with it, retry the dial under linear
+      // backoff — the service may be down for a restore — and re-register
+      // carrying the outstanding-task inventory so the restored service
+      // can reconcile this pilot with its checkpointed ghost.
+      bool redialed = false;
+      for (int attempt = 1; config.reconnect_backoff > 0 &&
+                            attempt <= config.reconnect_attempts;
+           ++attempt) {
+        co_await sim::delay(attempt * config.reconnect_backoff);
+        if (state->hung()) co_await state->ctl->gate().wait();
+        try {
+          state->sock =
+              co_await machine.network().connect(env.node, config.service);
+          redialed = true;
+          break;
+        } catch (const net::ConnectError&) {
+          // nobody listening yet; keep backing off
+        }
+      }
+      if (!redialed) break;  // gave up: pilot exits as before
+      // The inventory (map order = sorted task ids, deterministic). Tasks
+      // that finished during the outage are simply absent — the service's
+      // reconciliation treats a checkpointed-but-unannounced task as a
+      // lost done and fails that attempt blamelessly.
+      std::vector<std::string> args{std::to_string(env.node)};
+      for (const auto& [tid, pid] : state->outstanding) args.push_back(tid);
+      state->sock->send(net::Message(kMsgRegister, std::move(args)));
+      // Only an idle pilot volunteers for work; a busy one re-enters the
+      // pool through its normal done/ready cycle. In-flight task wrappers
+      // report through state->sock, so their dones route to the new
+      // connection automatically.
+      if (state->outstanding.empty()) {
+        state->sock->send(net::Message(kMsgReady));
+      }
+      continue;
+    }
     if (m->tag == kMsgRun) {
       RunRequest req = parse_run_message(*m);
       // The per-task wrapper cost plus binary load (node-local if staged).

@@ -83,10 +83,23 @@ struct WorkerConfig {
   /// When set, the worker registers a hang control here at startup so a
   /// chaos plan can freeze it (see WorkerHangControl).
   std::shared_ptr<WorkerHangRegistry> hang_registry;
+  /// Crash-recovery redial: on EOF from the service, retry the connection
+  /// with linear backoff (attempt k waits k * reconnect_backoff) instead of
+  /// exiting, up to reconnect_attempts tries. The re-registration carries
+  /// the pilot's outstanding task inventory so a snapshot-restored service
+  /// can reconcile the pilot with its checkpointed ghost (see
+  /// Service::Config::restore_grace). 0 disables — EOF ends the pilot, the
+  /// pre-recovery behavior and the default for every golden benchmark.
+  sim::Duration reconnect_backoff = 0;
+  int reconnect_attempts = 10;
 };
 
 /// Protocol tags between worker and service (also used by Coasters):
-///   worker -> service:  "reg" [node]          once, after staging
+///   worker -> service:  "reg" [node, task...]  after staging; on a
+///                        crash-recovery redial the extra args list the
+///                        pilot's outstanding task ids (its inventory),
+///                        which the restored service uses to reconcile the
+///                        pilot with its checkpointed ghost
 ///                       "ready"                idle, requesting work
 ///                       "done" [task, status, reason]
 ///                        task finished; reason is "app" (the command's own

@@ -32,6 +32,8 @@ using SpanId = std::uint64_t;
 struct Attr {
   std::string key;
   std::string value;
+
+  friend bool operator==(const Attr&, const Attr&) = default;
 };
 
 /// Track ids group spans into Chrome-trace processes ("pid" rows). Two
@@ -55,6 +57,8 @@ struct Span {
 
   bool closed() const { return end >= 0; }
   sim::Duration duration() const { return closed() ? end - begin : 0; }
+
+  friend bool operator==(const Span&, const Span&) = default;
 };
 
 }  // namespace jets::obs

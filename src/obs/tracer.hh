@@ -67,6 +67,24 @@ class Tracer {
     attr(id, key, std::to_string(value));
   }
 
+  /// Appends a journal exported from another tracer (a pre-crash run whose
+  /// spans were checkpointed). Ids are renumbered to stay dense — every
+  /// imported id and nonzero parent is offset by the current span count, so
+  /// nesting is preserved and ids handed out afterwards don't collide.
+  /// Returns the offset applied (add it to an old id to get the new one).
+  SpanId import_spans(const std::vector<Span>& journal) {
+    const SpanId offset = spans_.size();
+    spans_.reserve(spans_.size() + journal.size());
+    for (const Span& old : journal) {
+      Span s = old;
+      s.id += offset;
+      if (s.parent != 0) s.parent += offset;
+      if (!s.closed()) ++open_;
+      spans_.push_back(std::move(s));
+    }
+    return offset;
+  }
+
   const std::vector<Span>& spans() const { return spans_; }
   std::size_t size() const { return spans_.size(); }
   std::size_t open_spans() const { return open_; }

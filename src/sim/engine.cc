@@ -61,6 +61,7 @@ void Engine::free_event_slot(std::uint32_t slot) {
 }
 
 void Engine::push_entry(Time t, std::uint32_t slot) {
+  slots_[slot].at = t;
   heap_.push_back(HeapEntry{t, seq_++, slot, slots_[slot].gen});
   std::push_heap(heap_.begin(), heap_.end(), HeapLater{});
 }

@@ -66,6 +66,10 @@ class TimerHandle {
   TimerHandle(Engine* engine, std::uint32_t slot, std::uint32_t gen)
       : engine_(engine), slot_(slot), gen_(gen) {}
   inline void cancel();
+  /// Absolute time the callback will fire, or nullopt if the handle is
+  /// empty, already fired, or cancelled. Lets checkpoint code serialize a
+  /// timer as its deadline and re-arm it on restore.
+  inline std::optional<Time> fire_time() const;
   bool valid() const noexcept { return engine_ != nullptr; }
 
  private:
@@ -202,6 +206,14 @@ class Engine {
   /// Cancels a callback event if (slot, gen) still names it: releases the
   /// closure now and marks the heap entry dead for lazy removal.
   void cancel_event(std::uint32_t slot, std::uint32_t gen);
+  /// Absolute fire time of a pending callback event, if (slot, gen) still
+  /// names one. Read-only; used by TimerHandle::fire_time().
+  std::optional<Time> event_time(std::uint32_t slot, std::uint32_t gen) const {
+    if (slot >= slots_.size()) return std::nullopt;
+    const EventSlot& s = slots_[slot];
+    if (s.gen != gen || s.kind != EventSlot::kCallback) return std::nullopt;
+    return s.at;
+  }
   /// Epoch check: does (slot, gen) still name a live actor?
   bool actor_slot_live(std::uint32_t slot, std::uint32_t gen) const {
     return slot < actor_slots_.size() && actor_slots_[slot].gen == gen;
@@ -246,6 +258,9 @@ class Engine {
     std::uint32_t actor_gen = 0;
     // kCallback payload:
     std::function<void()> fn;
+    /// Absolute fire time, mirrored from the heap entry so event_time()
+    /// can answer without searching the heap.
+    Time at = 0;
   };
 
   /// What the priority queue actually sifts: 24 bytes, trivially copyable.
@@ -338,6 +353,11 @@ class ScopedObserver {
 
 inline void TimerHandle::cancel() {
   if (engine_) engine_->cancel_event(slot_, gen_);
+}
+
+inline std::optional<Time> TimerHandle::fire_time() const {
+  if (!engine_) return std::nullopt;
+  return engine_->event_time(slot_, gen_);
 }
 
 inline bool Resumption::expired() const {

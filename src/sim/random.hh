@@ -71,6 +71,9 @@ class Rng {
   }
 
   std::mt19937_64& generator() noexcept { return gen_; }
+  /// Read-only engine access, e.g. for serializing the stream state
+  /// (operator<< on mt19937_64 takes const&).
+  const std::mt19937_64& generator() const noexcept { return gen_; }
 
  private:
   std::mt19937_64 gen_;
