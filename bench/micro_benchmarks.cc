@@ -5,9 +5,11 @@
 // figure harnesses.
 #include <benchmark/benchmark.h>
 
+#include "core/staging.hh"
 #include "core/standalone.hh"
 #include "md/lj_system.hh"
 #include "net/socket.hh"
+#include "os/cas.hh"
 #include "os/machine.hh"
 #include "sim/sim.hh"
 
@@ -225,6 +227,73 @@ void BM_ServiceClaimWorkersNetworkAware(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_ServiceClaimWorkersNetworkAware)->Arg(256);
+
+void BM_CasStorePutGet(benchmark::State& state) {
+  // Host cost of the per-node CAS: digest, insert (backing write + LRU
+  // bookkeeping), and touch. Capacity is half the working set, so the put
+  // stream continuously evicts — the steady state of a bounded node cache.
+  const auto n = static_cast<int>(state.range(0));
+  constexpr std::uint64_t kBlobBytes = 1'000'000;
+  for (auto _ : state) {
+    sim::Engine e;
+    os::LocalFs fs(e, sim::microseconds(10), 1e9);
+    os::CasStore cas(fs, kBlobBytes * static_cast<std::uint64_t>(n) / 2);
+    e.spawn("cas", [](os::CasStore& cas, int n) -> sim::Task<void> {
+      for (int i = 0; i < n; ++i) {
+        const std::string path = "blob_" + std::to_string(i);
+        const auto d = os::cas_digest(path, kBlobBytes);
+        (void)co_await cas.put(d, path, kBlobBytes);
+        benchmark::DoNotOptimize(cas.touch(d));
+      }
+    }(cas, n));
+    e.run();
+    benchmark::DoNotOptimize(cas.stats().evictions);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_CasStorePutGet)->Arg(1000)->Arg(10000);
+
+void BM_StageFanoutDedup(benchmark::State& state) {
+  // Service-side bookkeeping for one staging fan-out at scale: intern each
+  // blob, drive the cold wave's per-node pending -> resident transitions,
+  // then the warm wave's dedup queries (residency hit + the data-aware
+  // window score) — the pure table cost behind stage_job_inputs and
+  // claim_best, with no engine or wire traffic.
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kBlobs = 8;
+  constexpr std::uint64_t kBlobBytes = 4'000'000;
+  for (auto _ : state) {
+    sim::Engine e;
+    core::StageTable staging;
+    core::ResidencyTable residency;
+    std::vector<std::pair<core::StageDigest, std::uint64_t>> wanted;
+    for (std::size_t b = 0; b < kBlobs; ++b) {
+      const std::string path = "input_" + std::to_string(b);
+      const auto d = os::cas_digest(path, kBlobBytes);
+      (void)staging.intern(d, path, e);
+      wanted.emplace_back(d, kBlobBytes);
+    }
+    for (std::size_t i = 0; i < nodes; ++i) {
+      const auto node = static_cast<net::NodeId>(i);
+      for (const auto& w : wanted) {
+        residency.mark_pending(node, w.first);
+        residency.commit(node, w.first);
+      }
+    }
+    std::uint64_t warm = 0, score = 0;
+    for (std::size_t i = 0; i < nodes; ++i) {
+      const auto node = static_cast<net::NodeId>(i);
+      for (const auto& w : wanted) {
+        warm += residency.contains(node, w.first) ? 1 : 0;
+      }
+      score += residency.resident_bytes(node, wanted);
+    }
+    benchmark::DoNotOptimize(warm);
+    benchmark::DoNotOptimize(score);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * kBlobs * 2);
+}
+BENCHMARK(BM_StageFanoutDedup)->Arg(1000)->Arg(100000);
 
 void BM_JetsSequentialDispatch(benchmark::State& state) {
   // Host cost of simulating one full JETS task cycle (dispatch, exec,

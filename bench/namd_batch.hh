@@ -15,10 +15,14 @@ struct NamdBatchResult {
   /// Busy cores over time (1 core per MPI process), for Fig 13.
   sim::TimeSeries load;
   std::uint64_t stdout_bytes = 0;
+  /// Staging counters (populated only by the stage_inputs variant).
+  std::uint64_t stage_requests = 0;
+  std::uint64_t stage_warm_hits = 0;
+  std::uint64_t stage_bytes_pushed = 0;
 };
 
-inline NamdBatchResult run_namd_batch(std::size_t alloc_nodes,
-                                      int nproc = 4) {
+inline NamdBatchResult run_namd_batch(std::size_t alloc_nodes, int nproc = 4,
+                                      bool stage_inputs = false) {
   Bed bed(os::Machine::surveyor(alloc_nodes));
   auto options = surveyor_options(/*workers_per_node=*/1);
   options.worker.stage_files = {pmi::kProxyBinary, "namd_segment"};
@@ -29,6 +33,13 @@ inline NamdBatchResult run_namd_batch(std::size_t alloc_nodes,
   // 4-proc jobs on the full rack, §6.1.6). Round-robin over 32 distinct
   // REM cases, as the paper did with its user-provided batch.
   const std::size_t njobs = alloc_nodes * 6 / static_cast<std::size_t>(nproc);
+  // The stage_inputs variant (JETS_STAGING series): each REM case reads its
+  // own ~12 MB structure/coordinate blob, staged per-job through the CAS.
+  if (stage_inputs) {
+    for (int c = 0; c < 32; ++c) {
+      bed.machine.shared_fs().put("rem_case_" + std::to_string(c), 12'000'000);
+    }
+  }
   std::vector<core::JobSpec> jobs;
   jobs.reserve(njobs);
   apps::NamdModel model;  // defaults fit Fig 11
@@ -37,6 +48,9 @@ inline NamdBatchResult run_namd_batch(std::size_t alloc_nodes,
         nproc, {"namd_segment", std::to_string(model.median_seconds),
                 std::to_string(model.sigma), "case-" + std::to_string(j % 32) +
                     "-" + std::to_string(j / 32)}));
+    if (stage_inputs) {
+      jobs.back().stage_files = {"rem_case_" + std::to_string(j % 32)};
+    }
   }
 
   NamdBatchResult out;
@@ -52,6 +66,9 @@ inline NamdBatchResult run_namd_batch(std::size_t alloc_nodes,
     out.report = co_await jets.run_batch(jobs);
   });
   out.load = busy.series();
+  out.stage_requests = jets.service().stage_requests();
+  out.stage_warm_hits = jets.service().stage_warm_hits();
+  out.stage_bytes_pushed = jets.service().stage_bytes_pushed();
   return out;
 }
 

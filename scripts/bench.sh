@@ -5,8 +5,10 @@
 #   scripts/bench.sh --check      # run benches, print entry, do not append
 #
 # Runs the google-benchmark micro suite (engine schedule/cancel/dispatch,
-# scheduler choose_job/claim_workers) plus wall-clock timings of the two
-# headline figure benches (fig06, fig09), and appends one JSON entry to
+# scheduler choose_job/claim_workers, CAS put/get, stage fan-out dedup)
+# plus wall-clock timings of the two headline figure benches (fig06,
+# fig09) and the abl_staging cold-vs-warm sweep, and appends one JSON
+# entry to
 # BENCH_sim.json keyed by commit. The file is an append-only trajectory:
 # one entry per measurement, never rewritten, so regressions are visible
 # as a time series across PRs. Numbers are host-dependent — compare
@@ -36,7 +38,7 @@ echo "== micro suite (google-benchmark) =="
 wall_ns() {  # wall-clock of one figure bench at default scale, output discarded
   local t0 t1
   t0=$(date +%s%N)
-  env -u JETS_LARGE_N "$1" > /dev/null
+  env -u JETS_LARGE_N -u JETS_STAGING "$1" > /dev/null
   t1=$(date +%s%N)
   echo $((t1 - t0))
 }
@@ -80,15 +82,24 @@ JETS_RECOVER=1 "$BUILD/bench/fig10_faulty" \
   | sed -n 's/^# recover //p' > "$recover_txt"
 cat "$recover_txt"
 
+# Input-staging trajectory: the abl_staging cold-vs-warm sweep's pushed
+# bytes, warm-hit rate, and dedup factor (JETS_STAGING), so CAS and
+# replication-planner regressions show in the same time series.
+echo "== input-staging sweep (abl_staging, JETS_STAGING=1) =="
+staging_txt="$trace_dir/staging.txt"
+JETS_STAGING=1 "$BUILD/bench/abl_staging" \
+  | sed -n 's/^# staging \([0-9]\)/\1/p' > "$staging_txt"
+cat "$staging_txt"
+
 commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 date_iso=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 
 entry=$(python3 - "$micro_json" "$commit" "$date_iso" "$fig06_ns" "$fig09_ns" \
-        "$large_n_txt" "$recover_txt" <<'PY'
+        "$large_n_txt" "$recover_txt" "$staging_txt" <<'PY'
 import json, platform, sys
 
 (micro_path, commit, date_iso, fig06_ns, fig09_ns, large_n_path,
- recover_path) = sys.argv[1:8]
+ recover_path, staging_path) = sys.argv[1:9]
 with open(micro_path) as f:
     micro = json.load(f)
 
@@ -111,6 +122,24 @@ with open(recover_path) as f:
                 except ValueError:
                     point[k] = v
         recovery[toks[0].partition("=")[2]] = point
+
+# Rows: "<nodes> <cold_mb> <warm_mb> <warm_rate> <cold_mksp> <warm_mksp>
+# <dedup_x>" from the abl_staging cold-vs-warm sweep.
+staging = []
+with open(staging_path) as f:
+    for line in f:
+        toks = line.split()
+        if len(toks) != 7:
+            continue
+        staging.append({
+            "nodes": int(toks[0]),
+            "cold_pushed_mb": float(toks[1]),
+            "warm_pushed_mb": float(toks[2]),
+            "warm_hit_rate": float(toks[3]),
+            "cold_makespan_s": float(toks[4]),
+            "warm_makespan_s": float(toks[5]),
+            "dedup_x": float(toks[6]),
+        })
 
 # Rows: "<bench> workers=N jobs=N tasks_per_s=R makespan_s=S [utilization=U]"
 large_n = []
@@ -147,6 +176,7 @@ entry = {
     },
     "large_n": large_n,
     "recovery": recovery,
+    "staging": staging,
     "micro": benches,
 }
 print(json.dumps(entry, indent=2))

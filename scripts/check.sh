@@ -6,8 +6,8 @@
 #   scripts/check.sh --all      # both of the above
 #
 # The default preset run is the ROADMAP tier-1 gate: every ctest entry
-# (labels unit, property, chaos, retry, obs, scale, recovery) must pass,
-# and the
+# (labels unit, property, chaos, retry, obs, scale, recovery, staging)
+# must pass, and the
 # determinism smoke re-runs fig06_seq_rate twice and byte-diffs the
 # output — the engine's event order must be a pure function of the
 # inputs — then re-runs it with JETS_TRACE=1 and checks that, with the
@@ -19,9 +19,13 @@
 # under a wall-clock budget. The default preset also runs a crash-recovery
 # smoke: the fig10 recover scenario (JETS_RECOVER=1) must report replay
 # digest/snapshot byte-equality and verbatim preservation of pre-crash
-# settled records. The sanitizer pass re-runs the fault-heavy
+# settled records, and a staging smoke: the JETS_STAGING=1 abl_staging
+# sweep must be byte-identical across two runs (warm-cache determinism)
+# and its cold/warm dedup factor at least 10x. The sanitizer pass re-runs
+# the fault-heavy
 # suites (-L chaos and -L retry), the recovery suite (-L recovery, whose
-# codec tests fuzz the snapshot reader's bounds checks), plus the
+# codec tests fuzz the snapshot reader's bounds checks), the staging
+# suite (-L staging), plus the
 # property suites (including the
 # SoA-table churn differentials), the scale suite at its small default N,
 # the observability suite (-L obs), and the engine/sync tests, which
@@ -82,6 +86,27 @@ if [[ "$run_default" == 1 ]]; then
   done
   echo "crash-recovery smoke: OK"
 
+  echo "== staging lane: ctest -L staging (release) =="
+  ctest --preset default --no-tests=error -L staging -j "$(nproc)"
+
+  echo "== staging smoke: JETS_STAGING=1 abl_staging twice, byte-identical, dedup >= 10x =="
+  JETS_STAGING=1 ./build/bench/abl_staging > "$tmpdir/staging_a.txt"
+  JETS_STAGING=1 ./build/bench/abl_staging > "$tmpdir/staging_b.txt"
+  if ! cmp -s "$tmpdir/staging_a.txt" "$tmpdir/staging_b.txt"; then
+    echo "staging smoke FAILED: warm-cache run not deterministic across reruns" >&2
+    diff "$tmpdir/staging_a.txt" "$tmpdir/staging_b.txt" >&2 || true
+    exit 1
+  fi
+  # Every '# staging <nodes> ...' data row's last column is the cold/warm
+  # dedup factor; the CAS + replication planner must buy at least 10x.
+  if ! awk '/^# staging [0-9]/ { rows++; if ($NF + 0 < 10) bad = 1 } \
+            END { exit (bad || rows == 0) }' "$tmpdir/staging_a.txt"; then
+    echo "staging smoke FAILED: dedup factor below 10x (or no sweep rows)" >&2
+    grep '^# staging' "$tmpdir/staging_a.txt" >&2 || true
+    exit 1
+  fi
+  echo "staging smoke: OK"
+
   echo "== scheduler equivalence: 15 figures vs golden manifest =="
   ./scripts/scheduler_equiv.sh build
 
@@ -100,6 +125,7 @@ if [[ "$run_asan" == 1 ]]; then
   ctest --preset asan-ubsan --no-tests=error -L scale -j "$(nproc)"
   ctest --preset asan-ubsan --no-tests=error -L obs -j "$(nproc)"
   ctest --preset asan-ubsan --no-tests=error -L recovery -j "$(nproc)"
+  ctest --preset asan-ubsan --no-tests=error -L staging -j "$(nproc)"
   ctest --preset asan-ubsan --no-tests=error -j "$(nproc)" \
     -R '^(Engine|Channel|Semaphore|Gate|Time|Rng)\.'
 fi

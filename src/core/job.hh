@@ -127,6 +127,12 @@ struct JobSpec {
   int priority = 0;
   /// Per-job retry policy; unset means the service default applies.
   std::optional<RetryPolicy> retry;
+  /// Input files (shared-filesystem paths) this job needs on each of its
+  /// workers' nodes before it runs. The service stages them through the
+  /// per-node content-addressed cache: each distinct blob crosses the
+  /// fabric to a node at most once, later jobs hit warm cache (§5's
+  /// staging feature, generalized from worker start-up to per-job data).
+  std::vector<std::string> stage_files;
 
   /// Number of workers (pilot slots) this job occupies while running.
   int workers_needed() const {

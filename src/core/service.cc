@@ -5,7 +5,9 @@
 #include <set>
 #include <stdexcept>
 
+#include "net/staging.hh"
 #include "obs/tracer.hh"
+#include "os/cas.hh"
 
 namespace jets::core {
 
@@ -64,6 +66,15 @@ void Service::init_metrics() {
   m_reconciled_ = reg("jets.service.restore.workers_reconciled");
   m_rescued_ = reg("jets.service.restore.jobs_rescued");
   m_ghosts_dropped_ = reg("jets.service.restore.ghosts_dropped");
+  m_stage_requests_ = reg("jets.service.staging.requests");
+  m_stage_pushes_ = reg("jets.service.staging.pushes");
+  m_stage_peer_copies_ = reg("jets.service.staging.peer_copies");
+  m_stage_warm_hits_ = reg("jets.service.staging.warm_hits");
+  m_stage_coalesced_ = reg("jets.service.staging.coalesced");
+  m_stage_acks_lost_ = reg("jets.service.staging.acks_lost");
+  m_stage_evictions_ = reg("jets.service.staging.evictions");
+  m_stage_bytes_pushed_ = reg("jets.service.staging.bytes_pushed");
+  m_stage_bytes_saved_ = reg("jets.service.staging.bytes_saved");
   for (std::size_t i = 0; i < kFailureReasonCount; ++i) {
     m_failures_[i] = reg((std::string("jets.service.failures.") +
                           to_string(static_cast<FailureReason>(i)))
@@ -81,6 +92,7 @@ void Service::close_job_spans(Job& job) {
   obs::Tracer* tr = tracer();
   if (!tr) return;
   tr->end_and_clear(job.span_run);
+  tr->end_and_clear(job.span_stage);
   tr->end_and_clear(job.span_group);
   tr->end_and_clear(job.span_attempt);
   tr->end_and_clear(job.span_queued);
@@ -229,11 +241,15 @@ sim::Task<void> Service::stage_to_workers(const std::string& path) {
   auto size = machine_->shared_fs().size(path);
   if (!size) throw std::invalid_argument("stage_to_workers: no such file " + path);
   // The service itself reads the file once from the shared filesystem,
-  // then fans it out over the persistent worker connections.
+  // then fans it out over the persistent worker connections. This is the
+  // legacy broadcast path (Coasters-style pre-staging): the wire format —
+  // bare path, full payload per worker — is frozen; dedup'd per-job
+  // staging goes through stage_job_inputs instead.
   co_await machine_->shared_fs().read(path);
-  StageOp& op = staging_[path];
-  if (!op.done) op.done = std::make_unique<sim::Gate>(machine_->engine());
-  op.done->close();
+  const auto [digest, bytes] = blob_for(path);
+  const StageTable::Slot slot =
+      staging_.intern(digest, path, machine_->engine());
+  staging_.gate(slot).close();
   // Handles recycle worker slots, so slot order is not registration order;
   // the fan-out must stay in registration order (it fixes the wire
   // serialization sequence), hence the sort by seq.
@@ -244,12 +260,202 @@ sim::Task<void> Service::stage_to_workers(const std::string& path) {
   std::sort(targets.begin(), targets.end());
   for (const auto& [seq, wid] : targets) {
     Worker& w = workers_.at(wid);
-    ++op.remaining;
+    ++staging_.remaining(slot);
+    w.pending_stages.push_back(digest);
     net::Message m(kMsgStageIn, {path}, *size);
     w.sock->send(std::move(m));
   }
-  if (op.remaining == 0) co_return;
-  co_await op.done->wait();
+  if (staging_.remaining(slot) == 0) {
+    staging_.gate(slot).open();
+    co_return;
+  }
+  co_await staging_.gate(slot).wait();
+}
+
+// --- Input staging (CAS replication planner) ---------------------------------
+
+std::pair<StageDigest, std::uint64_t> Service::blob_for(
+    const std::string& path) {
+  auto it = blob_info_.find(path);
+  if (it != blob_info_.end()) return it->second;
+  const auto size = machine_->shared_fs().size(path);
+  if (!size) throw std::invalid_argument("stage_files: no such file " + path);
+  const auto info = std::make_pair(os::cas_digest(path, *size), *size);
+  blob_info_.emplace(path, info);
+  return info;
+}
+
+sim::Task<void> Service::stage_job_inputs(
+    JobId id, int attempt, const std::vector<WorkerId>& claimed) {
+  Job& job = jobs_.at(id);
+  const JobSpec& spec = job.rec.spec;
+  if (obs::Tracer* tr = tracer()) {
+    job.span_stage = tr->begin("job.stage", obs::track_job(id),
+                               job.span_attempt);
+  }
+  // Each node needs each blob once, whatever the job's ppn packs onto it:
+  // dedup the claimed workers to one representative per node, keeping
+  // claim order so the wire sequence is deterministic.
+  std::vector<std::pair<os::NodeId, WorkerId>> nodes;
+  for (WorkerId wid : claimed) {
+    const os::NodeId node = workers_.at(wid).node;
+    bool seen = false;
+    for (const auto& [n, rep] : nodes) {
+      if (n == node) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) nodes.emplace_back(node, wid);
+  }
+  std::vector<StageTable::Slot> waits;
+  for (const std::string& path : spec.stage_files) {
+    const auto [digest, bytes] = blob_for(path);
+    const StageTable::Slot slot =
+        staging_.intern(digest, path, machine_->engine());
+    // The service reads a blob from the shared filesystem at most once per
+    // fan-out, and only if at least one node actually needs the bytes.
+    bool read_done = false;
+    for (const auto& [node, rep] : nodes) {
+      m_stage_requests_->inc();
+      net::StageHeader h;
+      h.path = path;
+      h.digest = digest;
+      h.bytes = bytes;
+      std::uint64_t payload = 0;
+      if (config_.staging_cache && residency_.contains(node, digest)) {
+        // Warm cache: zero-byte probe, acked by a cache touch. The ack
+        // round trip keeps residency honest (a racing eviction report
+        // makes the worker fall back to a pull).
+        h.source = net::StageHeader::Source::kWarm;
+        m_stage_warm_hits_->inc();
+        m_stage_bytes_saved_->inc(bytes);
+      } else if (config_.staging_cache && residency_.pending(node, digest)) {
+        // Already on the wire to this node (another job's fan-out):
+        // piggyback on that transfer instead of sending anything.
+        m_stage_coalesced_->inc();
+        m_stage_bytes_saved_->inc(bytes);
+        waits.push_back(slot);
+        continue;
+      } else {
+        const net::StagePlan plan =
+            config_.staging_cache
+                ? net::plan_transfer(machine_->network().fabric(), host_,
+                                     node, residency_.holders(digest), bytes)
+                : net::StagePlan{};  // ablation baseline: always push
+        if (plan.use_peer) {
+          // A peer node in the fabric already holds the digest: have the
+          // target copy from it; the service sends only the header.
+          h.source = net::StageHeader::Source::kPeer;
+          h.peer = plan.peer;
+          m_stage_peer_copies_->inc();
+        } else {
+          h.source = net::StageHeader::Source::kPush;
+          payload = bytes;
+          m_stage_pushes_->inc();
+          m_stage_bytes_pushed_->inc(bytes);
+          if (!read_done) {
+            read_done = true;
+            co_await machine_->shared_fs().read(path);
+            // The read suspended us: the job (or the target) may be gone.
+            if (job.rec.status != JobStatus::kRunning ||
+                job.rec.attempts != attempt) {
+              break;  // caller re-checks and releases the claim
+            }
+          }
+        }
+        residency_.mark_pending(node, digest);
+      }
+      Worker* w = workers_.find(rep);
+      if (!w || !w->connected || !w->sock) {
+        // The representative died while we were reading: write the pair
+        // off — the attempt is about to fail through the worker-lost path.
+        residency_.clear_pending(node, digest);
+        continue;
+      }
+      ++staging_.remaining(slot);
+      staging_.gate(slot).close();
+      w->pending_stages.push_back(digest);
+      w->sock->send(net::Message(kMsgStageIn, net::encode_stage_args(h),
+                                 payload));
+      waits.push_back(slot);
+    }
+    if (job.rec.status != JobStatus::kRunning || job.rec.attempts != attempt) {
+      break;
+    }
+  }
+  // Await every touched slot once (sorted + dedup'd for a deterministic
+  // wait order). Gates open when their remaining count drains — by acks,
+  // or by write-offs when a stage target dies (abandon_worker_stages); a
+  // dead *claimed* worker also fails the attempt, which the status check
+  // below and the caller both observe.
+  std::sort(waits.begin(), waits.end());
+  waits.erase(std::unique(waits.begin(), waits.end()), waits.end());
+  for (const StageTable::Slot slot : waits) {
+    co_await staging_.gate(slot).wait();
+    if (job.rec.status != JobStatus::kRunning || job.rec.attempts != attempt) {
+      break;  // settled mid-stage: stop waiting, the caller cleans up
+    }
+  }
+  if (obs::Tracer* tr = tracer()) tr->end_and_clear(job.span_stage);
+}
+
+void Service::handle_staged_ack(WorkerId wid, const net::Message& m) {
+  if (m.args.empty()) return;
+  Worker* w = workers_.find(wid);
+  StageDigest digest = 0;
+  if (m.args.size() >= 2 && m.args[1].starts_with("d=")) {
+    digest = os::cas_digest_from_hex(
+        std::string_view(m.args[1]).substr(2));
+    if (digest == 0) return;  // malformed
+    if (w) {
+      // The blob is on the node now — even a late ack from an evicted
+      // worker makes that true, so commit unconditionally.
+      residency_.commit(w->node, digest);
+      // Evictions the worker's CAS performed to make room travel on the
+      // ack; apply them so the planner never trusts a stale peer.
+      for (std::size_t i = 2; i < m.args.size(); ++i) {
+        std::string_view arg(m.args[i]);
+        if (!arg.starts_with("e=")) continue;
+        const os::CasDigest evicted = os::cas_digest_from_hex(arg.substr(2));
+        if (evicted != 0) {
+          residency_.remove(w->node, evicted);
+          m_stage_evictions_->inc();
+        }
+      }
+    }
+  } else {
+    // Legacy bare-path ack (stage_to_workers broadcast).
+    const auto it = blob_info_.find(m.args[0]);
+    if (it == blob_info_.end()) return;
+    digest = it->second.first;
+  }
+  const StageTable::Slot slot = staging_.find(digest);
+  if (slot == StageTable::kNone) return;
+  if (w) {
+    // Only decrement for an ack we are still waiting on: a worker evicted
+    // mid-stage was written off already (satellite S1) and may ack late.
+    auto& pend = w->pending_stages;
+    const auto pit = std::find(pend.begin(), pend.end(), digest);
+    if (pit == pend.end()) return;
+    pend.erase(pit);
+  }
+  std::uint32_t& rem = staging_.remaining(slot);
+  if (rem > 0 && --rem == 0) staging_.gate(slot).open();
+}
+
+void Service::abandon_worker_stages(Worker& w) {
+  for (const StageDigest digest : w.pending_stages) {
+    // The ack will never come: write the pair off so no gate hangs and the
+    // planner forgets the in-flight transfer (a later job re-stages).
+    residency_.clear_pending(w.node, digest);
+    m_stage_acks_lost_->inc();
+    const StageTable::Slot slot = staging_.find(digest);
+    if (slot == StageTable::kNone) continue;
+    std::uint32_t& rem = staging_.remaining(slot);
+    if (rem > 0 && --rem == 0) staging_.gate(slot).open();
+  }
+  w.pending_stages.clear();
 }
 
 void Service::check_all_done() {
@@ -360,10 +566,7 @@ sim::Task<void> Service::worker_handler(net::SocketPtr sock) {
       ready_.push_back(wid, w.node);
       kick();
     } else if (m->tag == kMsgStaged) {
-      auto it = staging_.find(m->args.at(0));
-      if (it != staging_.end() && it->second.remaining > 0) {
-        if (--it->second.remaining == 0) it->second.done->open();
-      }
+      handle_staged_ack(wid, *m);
     } else if (m->tag == kMsgDone && wid != 0) {
       const std::string& task_id = m->args.at(0);
       const int status = std::stoi(m->args.at(1));
@@ -405,6 +608,9 @@ sim::Task<void> Service::worker_handler(net::SocketPtr sock) {
     // is recycled — every outstanding handle to it fails the generation
     // check from here on (timers, reoffer callbacks, stale claims).
     if (w->evicted) --evicted_live_;
+    // Unacked stage-ins die with the connection: write them off before the
+    // slot is recycled, or their completion gates would hang forever.
+    abandon_worker_stages(*w);
     workers_.erase(wid);
     // This slot is gone for good — a queued wide job may now be doomed.
     reap_unsatisfiable();
@@ -432,7 +638,8 @@ std::optional<JobId> Service::choose_job() {
   });
 }
 
-std::vector<Service::WorkerId> Service::claim_workers(std::size_t count) {
+std::vector<Service::WorkerId> Service::claim_workers(std::size_t count,
+                                                      const JobSpec& spec) {
   std::vector<WorkerId> claimed;
   if (!config_.network_aware_grouping || count <= 1) {
     // Paper default: first come, first served (§6.1.4).
@@ -442,6 +649,29 @@ std::vector<Service::WorkerId> Service::claim_workers(std::size_t count) {
       ready_.erase_front(workers_.at(wid).node);
       claimed.push_back(wid);
     }
+  } else if (config_.data_aware_grouping && !spec.stage_files.empty()) {
+    // Data-aware refinement: among width-feasible windows, prefer the one
+    // whose nodes already hold (or are receiving) the most input bytes —
+    // warm cache beats short hops. Ties fall back to the min-span pick,
+    // so a cold cache (every score 0) reproduces claim_min_span exactly:
+    // that is what keeps cold runs byte-identical to the golden manifest.
+    std::vector<std::pair<StageDigest, std::uint64_t>> wanted;
+    wanted.reserve(spec.stage_files.size());
+    for (const std::string& path : spec.stage_files) {
+      // Lookup only: a path never staged anywhere scores 0 on every node,
+      // so interning it here would change nothing but state.
+      const auto it = blob_info_.find(path);
+      if (it != blob_info_.end()) wanted.push_back(it->second);
+    }
+    claimed = ready_.claim_best(count, [&](const auto* win, std::size_t n) {
+      std::uint64_t total = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        // The window is node-sorted; count each distinct node once.
+        if (i > 0 && win[i].node == win[i - 1].node) continue;
+        total += residency_.resident_bytes(win[i].node, wanted);
+      }
+      return total;
+    });
   } else {
     // §7 extension: pick the window of ready workers with the smallest
     // node-id span (node ids are laid out along the torus, so a small span
@@ -471,7 +701,7 @@ sim::Task<void> Service::place_job(JobId id) {
   Job& job = jobs_.at(id);
   const JobSpec& spec = job.rec.spec;
   const auto needed = static_cast<std::size_t>(spec.workers_needed());
-  job.assigned = claim_workers(needed);
+  job.assigned = claim_workers(needed, spec);
   // Local copy: job.assigned is cleared if the job settles (eviction,
   // deadline) while this coroutine is suspended in a dispatch delay.
   const std::vector<WorkerId> claimed = job.assigned;
@@ -516,6 +746,19 @@ sim::Task<void> Service::place_job(JobId id) {
     }
   }
   if (hooks_.on_job_start) hooks_.on_job_start(job.rec);
+
+  // Input staging precedes dispatch. The empty-list guard is load-bearing
+  // for determinism: jobs without stage_files (every golden-manifest
+  // workload) must reach the dispatch co_awaits with an unchanged event
+  // sequence, so the staging path may not suspend even once for them.
+  if (!spec.stage_files.empty()) {
+    co_await stage_job_inputs(id, attempt, claimed);
+    if (job.rec.status != JobStatus::kRunning ||
+        job.rec.attempts != attempt) {  // settled mid-stage
+      release_undispatched(claimed, 0);
+      co_return;
+    }
+  }
 
   if (spec.kind == JobKind::kSequential) {
     const std::string tid = "t" + std::to_string(next_task_++);
@@ -910,6 +1153,11 @@ void Service::evict_worker(WorkerId wid) {
   }
   w.liveness_timer.cancel();
   ready_.erase(wid, w.node);
+  // A disregarded worker's acks cannot be trusted to arrive: write off its
+  // unacked stage-ins now so no stage gate waits on a hung pilot. If it
+  // acks late anyway, residency is still committed (the data did land) but
+  // the remaining-count guard skips the double decrement.
+  abandon_worker_stages(w);
   if (w.busy && w.job != 0) {
     // The in-flight attempt cannot be trusted to finish; fail it so the
     // job retries on live workers ("minimizing their impact", §5).

@@ -60,6 +60,7 @@
 #include <vector>
 
 #include "core/job.hh"
+#include "core/staging.hh"
 #include "core/table.hh"
 #include "core/worker.hh"
 #include "net/socket.hh"
@@ -105,6 +106,20 @@ class Service {
     /// §7: group MPI jobs onto workers with nearby node ids (torus
     /// locality) instead of first-come-first-served.
     bool network_aware_grouping = false;
+    /// Content-addressed staging of JobSpec::stage_files: each distinct
+    /// blob reaches a node at most once (later jobs are satisfied from
+    /// warm cache with a zero-byte "staged" ack), and cold copies prefer a
+    /// cheap peer node that already holds the digest over a service push.
+    /// Off = the naive pre-CAS behavior: every job re-pushes every input
+    /// to every one of its nodes (the abl_staging cold baseline).
+    bool staging_cache = true;
+    /// Data-aware placement: among width-feasible node-sorted windows,
+    /// claim the one with the most resident input bytes for the job's
+    /// stage_files; ties fall back to the min-span/earliest-window rule,
+    /// so cold-cache picks are byte-identical to plain network-aware
+    /// grouping. Only meaningful with network_aware_grouping; no effect
+    /// on jobs without stage_files.
+    bool data_aware_grouping = true;
     /// Applied to jobs whose spec has no timeout; 0 = none.
     sim::Duration default_job_timeout = 0;
     /// Liveness deadline for *busy* workers: a worker that has been silent
@@ -247,6 +262,28 @@ class Service {
   std::size_t awaiting_workers() const { return awaiting_; }
   /// Engine time this service was restored from a snapshot (-1 = never).
   sim::Time restored_at() const { return restored_at_; }
+
+  // Staging counters (abl_staging bench and the staging test lane).
+  /// (node, blob) pairs any job asked for — the denominator of the dedup
+  /// and warm-hit rates below.
+  std::size_t stage_requests() const { return m_stage_requests_->value; }
+  /// Blobs pushed service->node over the fabric (cold misses).
+  std::size_t stage_pushes() const { return m_stage_pushes_->value; }
+  /// Blobs copied node->node because a peer already held the digest.
+  std::size_t stage_peer_copies() const { return m_stage_peer_copies_->value; }
+  /// Requests satisfied from warm cache with a zero-byte ack.
+  std::size_t stage_warm_hits() const { return m_stage_warm_hits_->value; }
+  /// Requests that piggybacked on a transfer already in flight.
+  std::size_t stage_coalesced() const { return m_stage_coalesced_->value; }
+  /// Acks written off because the worker died mid-stage (satellite S1).
+  std::size_t stage_acks_lost() const { return m_stage_acks_lost_->value; }
+  /// Cache evictions reported by workers' staged acks.
+  std::size_t stage_evictions() const { return m_stage_evictions_->value; }
+  /// Bytes actually moved service->node.
+  std::uint64_t stage_bytes_pushed() const { return m_stage_bytes_pushed_->value; }
+  /// Bytes a naive per-job push would have moved but the cache did not
+  /// (warm hits + coalesces; peer copies still move bytes, just cheaper).
+  std::uint64_t stage_bytes_saved() const { return m_stage_bytes_saved_->value; }
 
   /// Test hook: the ready pool holds no duplicates and only workers that
   /// are connected, idle, and not evicted.
@@ -488,11 +525,27 @@ class Service {
     /// pool and returns them in (node, arrival) order. Requires
     /// count <= size() and the index to be enabled.
     std::vector<WorkerId> claim_min_span(std::size_t count) {
+      return claim_best(count, [](const Entry*, std::size_t) {
+        return std::uint64_t{0};
+      });
+    }
+
+    /// Data-aware variant: `score(window, count)` rates each window (the
+    /// resident input bytes of the job being placed); the highest-scoring
+    /// window wins, ties fall back to smallest span then earliest window.
+    /// With an all-zero scorer this is *exactly* claim_min_span — the
+    /// determinism contract the golden-manifest gate enforces for
+    /// cold-cache runs.
+    template <typename Score>
+    std::vector<WorkerId> claim_best(std::size_t count, Score&& score) {
       std::size_t best = 0;
       os::NodeId best_span = std::numeric_limits<os::NodeId>::max();
+      std::uint64_t best_bytes = 0;
       for (std::size_t i = 0; i + count <= by_node_.size(); ++i) {
         const os::NodeId span = by_node_[i + count - 1].node - by_node_[i].node;
-        if (span < best_span) {
+        const std::uint64_t bytes = score(&by_node_[i], count);
+        if (bytes > best_bytes || (bytes == best_bytes && span < best_span)) {
+          best_bytes = bytes;
           best_span = span;
           best = i;
         }
@@ -590,6 +643,10 @@ class Service {
     /// Armed at a ban's parole date (previously untracked — a service
     /// destroyed mid-run would leave it firing into freed memory).
     sim::TimerHandle reoffer_timer;
+    /// Digests of stage-ins sent to this worker and not yet acked. On EOF
+    /// or liveness eviction these acks will never come — the entries are
+    /// written off via abandon_worker_stages so no stage gate hangs.
+    std::vector<StageDigest> pending_stages;
   };
 
   struct Job {
@@ -615,6 +672,7 @@ class Service {
     obs::SpanId span_backoff = 0;  // "job.backoff" (retry engine delay)
     obs::SpanId span_attempt = 0;  // "job.attempt" (placement->settle)
     obs::SpanId span_group = 0;    // "job.group" (claim + dispatch fan-out)
+    obs::SpanId span_stage = 0;    // "job.stage" (input staging fan-out)
     obs::SpanId span_run = 0;      // "job.run" (work handed over->outcome)
     /// Restored in kRunning state with its attempt's workers intact; if the
     /// attempt later succeeds it counts as "rescued" (jobs_rescued()).
@@ -656,8 +714,10 @@ class Service {
 
   /// Picks the next dispatchable job per policy, or nullopt.
   std::optional<JobId> choose_job();
-  /// Selects and claims `count` ready workers (FCFS or network-aware).
-  std::vector<WorkerId> claim_workers(std::size_t count);
+  /// Selects and claims `count` ready workers (FCFS or network-aware; when
+  /// `spec` names stage_files and data_aware_grouping is on, the window
+  /// maximizing resident input bytes wins, ties keep the min-span pick).
+  std::vector<WorkerId> claim_workers(std::size_t count, const JobSpec& spec);
   sim::Task<void> place_job(JobId id);
   void job_finished(JobId id, int status, FailureReason reason);
   void deadline_expired(JobId id);
@@ -703,6 +763,25 @@ class Service {
   void release_undispatched(const std::vector<WorkerId>& claimed,
                             std::size_t from_idx);
 
+  // --- Input staging (CAS replication planner; see DESIGN.md §11) ---
+  /// Digest + size of a shared-fs path, interned on first sight so every
+  /// job naming the same path agrees on the blob identity.
+  std::pair<StageDigest, std::uint64_t> blob_for(const std::string& path);
+  /// Stages spec.stage_files onto the claimed workers' nodes: warm cache
+  /// -> zero-byte ack, in-flight (node, digest) -> coalesce on the slot
+  /// gate, otherwise plan push vs peer copy and send the 4-arg header.
+  /// Awaits every ack (or write-off). Callers must re-check job state
+  /// after the co_await, exactly like the dispatch fan-out.
+  sim::Task<void> stage_job_inputs(JobId id, int attempt,
+                                   const std::vector<WorkerId>& claimed);
+  /// Digest-header "staged" ack bookkeeping: commits residency, applies
+  /// the ack's eviction reports, decrements the slot's remaining count.
+  void handle_staged_ack(WorkerId wid, const net::Message& m);
+  /// Writes off every unacked stage-in of a dying worker (satellite S1):
+  /// decrements slot counts (opening gates at zero), clears pending
+  /// residency. Must run before the worker's slot is recycled.
+  void abandon_worker_stages(Worker& w);
+
   os::Machine* machine_;
   const os::AppRegistry* apps_;
   os::NodeId host_;
@@ -728,12 +807,15 @@ class Service {
   std::unordered_map<std::string, JobId> task_to_job_;
   PendingQueue queue_;
   ReadyPool ready_;
-  /// In-flight stage-ins: path -> (remaining acks, completion gate).
-  struct StageOp {
-    std::size_t remaining = 0;
-    std::unique_ptr<sim::Gate> done;
-  };
-  std::map<std::string, StageOp> staging_;
+  /// In-flight stage-ins, digest-keyed (satellite S2 — replaces the old
+  /// path-keyed std::map<std::string, StageOp>).
+  StageTable staging_;
+  /// Which digests are warm/in-flight per node; feeds the replication
+  /// planner (peer candidates) and the data-aware window score.
+  ResidencyTable residency_;
+  /// path -> (digest, bytes), interned by blob_for. Ordered so snapshot
+  /// serialization walks it deterministically.
+  std::map<std::string, std::pair<StageDigest, std::uint64_t>> blob_info_;
   std::map<os::NodeId, NodeHealth> node_health_;
   sim::Rng retry_rng_;
   std::size_t connected_ = 0;
@@ -775,6 +857,15 @@ class Service {
   obs::Counter* m_reconciled_ = nullptr;
   obs::Counter* m_rescued_ = nullptr;
   obs::Counter* m_ghosts_dropped_ = nullptr;
+  obs::Counter* m_stage_requests_ = nullptr;
+  obs::Counter* m_stage_pushes_ = nullptr;
+  obs::Counter* m_stage_peer_copies_ = nullptr;
+  obs::Counter* m_stage_warm_hits_ = nullptr;
+  obs::Counter* m_stage_coalesced_ = nullptr;
+  obs::Counter* m_stage_acks_lost_ = nullptr;
+  obs::Counter* m_stage_evictions_ = nullptr;
+  obs::Counter* m_stage_bytes_pushed_ = nullptr;
+  obs::Counter* m_stage_bytes_saved_ = nullptr;
   std::array<obs::Counter*, kFailureReasonCount> m_failures_{};
   /// Every counter above by registry name, in registration order — the
   /// checkpoint codec walks this to serialize counter values and restore

@@ -26,6 +26,7 @@ enum SectionTag : std::uint16_t {
   kNodes = 6,     // optional
   kRng = 7,       // required
   kJournal = 8,   // optional
+  kStaging = 9,   // optional
 };
 
 constexpr std::uint8_t kFlagLittleEndian = 0x01;
@@ -156,6 +157,8 @@ void write_spec(Writer& w, const JobSpec& s) {
   w.i32(s.priority);
   w.boolean(s.retry.has_value());
   if (s.retry) write_retry(w, *s.retry);
+  w.u32(static_cast<std::uint32_t>(s.stage_files.size()));
+  for (const std::string& f : s.stage_files) w.str(f);
 }
 
 JobSpec read_spec(Reader& r) {
@@ -173,6 +176,7 @@ JobSpec read_spec(Reader& r) {
   s.timeout = r.i64();
   s.priority = r.i32();
   if (r.boolean()) s.retry = read_retry(r);
+  for (std::uint32_t n = r.u32(); n > 0; --n) s.stage_files.push_back(r.str());
   return s;
 }
 
@@ -333,6 +337,20 @@ std::vector<std::uint8_t> Snapshot::serialize() const {
       s.i64(nh.banned_until);
     }
   });
+  w.section(kStaging, [&](Writer& s) {
+    s.u32(static_cast<std::uint32_t>(blobs.size()));
+    for (const BlobSnap& b : blobs) {
+      s.str(b.path);
+      s.u64(b.digest);
+      s.u64(b.bytes);
+    }
+    s.u32(static_cast<std::uint32_t>(node_caches.size()));
+    for (const NodeCacheSnap& nc : node_caches) {
+      s.u32(nc.node);
+      s.u32(static_cast<std::uint32_t>(nc.digests.size()));
+      for (std::uint64_t d : nc.digests) s.u64(d);
+    }
+  });
   w.section(kJournal, [&](Writer& s) {
     s.u64(journal.size());
     for (const obs::Span& sp : journal) write_span(s, sp);
@@ -427,6 +445,23 @@ Snapshot Snapshot::parse(const std::vector<std::uint8_t>& bytes) {
           out.node_health.push_back(nh);
         }
         break;
+      case kStaging:
+        for (std::uint32_t n = s.u32(); n > 0; --n) {
+          BlobSnap b;
+          b.path = s.str();
+          b.digest = s.u64();
+          b.bytes = s.u64();
+          out.blobs.push_back(std::move(b));
+        }
+        for (std::uint32_t n = s.u32(); n > 0; --n) {
+          NodeCacheSnap nc;
+          nc.node = s.u32();
+          for (std::uint32_t k = s.u32(); k > 0; --k) {
+            nc.digests.push_back(s.u64());
+          }
+          out.node_caches.push_back(std::move(nc));
+        }
+        break;
       case kJournal:
         for (std::uint64_t n = s.u64(); n > 0; --n) {
           out.journal.push_back(read_span(s));
@@ -509,6 +544,18 @@ Snapshot Service::checkpoint() const {
     s.node_health.push_back(
         NodeHealthSnap{node, h.evictions, h.banned, h.banned_until});
   }
+
+  // Staging state: interned blobs (ascending path — blob_info_ is ordered)
+  // and acked residency. Pending stage-ins are not captured: see
+  // NodeCacheSnap.
+  for (const auto& [path, info] : blob_info_) {
+    s.blobs.push_back(BlobSnap{path, info.first, info.second});
+  }
+  residency_.for_each_resident(
+      [&](net::NodeId node, const std::vector<StageDigest>& digests) {
+        s.node_caches.push_back(NodeCacheSnap{node, digests});
+      });
+
   if (const obs::Tracer* tr = tracer()) s.journal = tr->spans();
   return s;
 }
@@ -654,6 +701,17 @@ void Service::apply_snapshot(const Snapshot& snap) {
   for (const NodeHealthSnap& nh : snap.node_health) {
     node_health_[nh.node] =
         NodeHealth{nh.evictions, nh.banned, nh.banned_until};
+  }
+
+  // Staging state: blob identities and acked residency survive the crash
+  // (node-local caches belong to the nodes, which did not restart), so the
+  // replication planner picks up warm exactly where it left off. In-flight
+  // stage-ins died with the service and are re-staged on demand.
+  for (const BlobSnap& b : snap.blobs) {
+    blob_info_[b.path] = {b.digest, b.bytes};
+  }
+  for (const NodeCacheSnap& nc : snap.node_caches) {
+    for (const std::uint64_t d : nc.digests) residency_.add(nc.node, d);
   }
 
   m_workers_connected_->set(0);

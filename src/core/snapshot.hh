@@ -87,6 +87,28 @@ struct JobSnap {
   friend bool operator==(const JobSnap&, const JobSnap&) = default;
 };
 
+/// One content-addressed blob the service has interned for staging
+/// (path -> digest/size). Restored into blob_info_ so post-restore jobs
+/// agree with pre-crash jobs on every blob identity.
+struct BlobSnap {
+  std::string path;
+  std::uint64_t digest = 0;
+  std::uint64_t bytes = 0;
+
+  friend bool operator==(const BlobSnap&, const BlobSnap&) = default;
+};
+
+/// One node's warm-cache residency: digests the node has *acked* (sorted
+/// ascending). In-flight stage-ins are deliberately not captured — they
+/// die with the crash and are simply re-staged on demand, exactly like a
+/// worker lost mid-stage.
+struct NodeCacheSnap {
+  std::uint32_t node = 0;
+  std::vector<std::uint64_t> digests;
+
+  friend bool operator==(const NodeCacheSnap&, const NodeCacheSnap&) = default;
+};
+
 /// Per-node blacklist/probation state.
 struct NodeHealthSnap {
   std::uint32_t node = 0;
@@ -123,6 +145,10 @@ struct Snapshot {
   std::vector<WorkerSnap> workers;
   /// Blacklist state, ascending node.
   std::vector<NodeHealthSnap> node_health;
+  /// Interned staging blobs, ascending path.
+  std::vector<BlobSnap> blobs;
+  /// Warm-cache residency, ascending node (nodes with any resident digest).
+  std::vector<NodeCacheSnap> node_caches;
   /// The obs span journal (empty when no tracer was attached); restore
   /// imports it so the restored run's trace stays contiguous.
   std::vector<obs::Span> journal;

@@ -1,0 +1,189 @@
+// Service-side staging state: the in-flight stage-in table and the
+// per-node cache-residency view.
+//
+// StageTable replaces the old std::map<std::string, StageOp> staging index
+// with a digest-keyed flat table in the SoA style of core/table.hh: one
+// slot per distinct blob digest, parallel arrays for the hot fields
+// (digest, remaining acks) and a stable-address gate array, plus an O(1)
+// digest -> slot index. Slots are permanent per digest — the set of
+// distinct staged blobs is small and reused (that is the whole point of
+// content addressing), and a persistent slot sidesteps every completion-
+// gate lifetime question: a later restage of the same digest just re-arms
+// the slot's gate.
+//
+// ResidencyTable is the service's model of which digests are warm on which
+// node, fed by worker "staged" acks (including their eviction reports) and
+// drained by worker loss. It also maintains the inverse holder index the
+// replication planner prices peer copies from, and answers the data-aware
+// scheduler's "how many wanted bytes are already on this node" query.
+// All containers are ordered or index-addressed: every walk is
+// deterministic, which the golden-manifest byte-identity gate requires.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/fabric.hh"
+#include "sim/engine.hh"
+#include "sim/sync.hh"
+
+namespace jets::core {
+
+using StageDigest = std::uint64_t;
+
+/// In-flight stage-in fan-outs, one slot per distinct blob digest.
+class StageTable {
+ public:
+  using Slot = std::uint32_t;
+  static constexpr Slot kNone = 0xffffffffu;
+
+  /// Slot of `d`, or kNone.
+  Slot find(StageDigest d) const {
+    auto it = index_.find(d);
+    return it == index_.end() ? kNone : it->second;
+  }
+
+  /// Gets or creates the slot for `d` (gate created closed-able, path
+  /// recorded for diagnostics/acks).
+  Slot intern(StageDigest d, const std::string& path, sim::Engine& engine) {
+    auto [it, inserted] = index_.try_emplace(d, static_cast<Slot>(digests_.size()));
+    if (inserted) {
+      digests_.push_back(d);
+      paths_.push_back(path);
+      remaining_.push_back(0);
+      gates_.push_back(std::make_unique<sim::Gate>(engine));
+      gates_.back()->open();  // nothing outstanding yet
+    }
+    return it->second;
+  }
+
+  StageDigest digest(Slot s) const { return digests_[s]; }
+  const std::string& path(Slot s) const { return paths_[s]; }
+  std::uint32_t& remaining(Slot s) { return remaining_[s]; }
+  std::uint32_t remaining(Slot s) const { return remaining_[s]; }
+  sim::Gate& gate(Slot s) { return *gates_[s]; }
+
+  std::size_t size() const { return digests_.size(); }
+
+ private:
+  std::vector<StageDigest> digests_;
+  std::vector<std::string> paths_;
+  std::vector<std::uint32_t> remaining_;
+  /// unique_ptr keeps gate addresses stable across vector growth — waiter
+  /// coroutine frames hold references across co_await.
+  std::vector<std::unique_ptr<sim::Gate>> gates_;
+  std::unordered_map<StageDigest, Slot> index_;  // lookup-only: deterministic
+};
+
+/// Which digests are warm (acked) or in flight (sent, unacked) per node,
+/// plus the inverse holder index for peer-copy planning.
+class ResidencyTable {
+ public:
+  bool contains(net::NodeId node, StageDigest d) const {
+    auto it = nodes_.find(node);
+    return it != nodes_.end() && sorted_contains(it->second.resident, d);
+  }
+  bool pending(net::NodeId node, StageDigest d) const {
+    auto it = nodes_.find(node);
+    return it != nodes_.end() && sorted_contains(it->second.pending, d);
+  }
+
+  /// A stage-in for (node, d) is on the wire.
+  void mark_pending(net::NodeId node, StageDigest d) {
+    sorted_insert(nodes_[node].pending, d);
+  }
+  /// The node acked (node, d): pending -> resident, holder index updated.
+  void commit(net::NodeId node, StageDigest d) {
+    Cache& c = nodes_[node];
+    sorted_erase(c.pending, d);
+    if (sorted_insert(c.resident, d)) sorted_insert(holders_[d], node);
+  }
+  /// The stage-in died unacked (worker lost mid-stage).
+  void clear_pending(net::NodeId node, StageDigest d) {
+    auto it = nodes_.find(node);
+    if (it != nodes_.end()) sorted_erase(it->second.pending, d);
+  }
+  /// Residency without a wire round trip (snapshot restore).
+  void add(net::NodeId node, StageDigest d) { commit(node, d); }
+  /// The node's cache evicted d (reported in a "staged" ack).
+  void remove(net::NodeId node, StageDigest d) {
+    auto it = nodes_.find(node);
+    if (it == nodes_.end() || !sorted_erase(it->second.resident, d)) return;
+    auto hit = holders_.find(d);
+    if (hit != holders_.end()) {
+      sorted_erase(hit->second, node);
+      if (hit->second.empty()) holders_.erase(hit);
+    }
+  }
+
+  /// Nodes holding d, ascending (the planner's peer candidates).
+  std::span<const net::NodeId> holders(StageDigest d) const {
+    auto it = holders_.find(d);
+    if (it == holders_.end()) return {};
+    return it->second;
+  }
+
+  /// Total bytes of `wanted` blobs already resident (or in flight — the
+  /// data will be there) on `node`; the data-aware window score.
+  std::uint64_t resident_bytes(
+      net::NodeId node,
+      std::span<const std::pair<StageDigest, std::uint64_t>> wanted) const {
+    auto it = nodes_.find(node);
+    if (it == nodes_.end()) return 0;
+    std::uint64_t total = 0;
+    for (const auto& [d, bytes] : wanted) {
+      if (sorted_contains(it->second.resident, d) ||
+          sorted_contains(it->second.pending, d)) {
+        total += bytes;
+      }
+    }
+    return total;
+  }
+
+  /// Deterministic walk over nodes with any resident digest (snapshots).
+  template <typename Fn>
+  void for_each_resident(Fn&& fn) const {
+    for (const auto& [node, cache] : nodes_) {
+      if (!cache.resident.empty()) fn(node, cache.resident);
+    }
+  }
+
+  std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Cache {
+    std::vector<StageDigest> resident;  // sorted
+    std::vector<StageDigest> pending;   // sorted
+  };
+
+  template <typename T>
+  static bool sorted_contains(const std::vector<T>& v, T x) {
+    return std::binary_search(v.begin(), v.end(), x);
+  }
+  template <typename T>
+  static bool sorted_insert(std::vector<T>& v, T x) {
+    auto it = std::lower_bound(v.begin(), v.end(), x);
+    if (it != v.end() && *it == x) return false;
+    v.insert(it, x);
+    return true;
+  }
+  template <typename T>
+  static bool sorted_erase(std::vector<T>& v, T x) {
+    auto it = std::lower_bound(v.begin(), v.end(), x);
+    if (it == v.end() || *it != x) return false;
+    v.erase(it);
+    return true;
+  }
+
+  std::map<net::NodeId, Cache> nodes_;
+  std::map<StageDigest, std::vector<net::NodeId>> holders_;
+};
+
+}  // namespace jets::core

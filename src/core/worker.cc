@@ -4,7 +4,9 @@
 #include <memory>
 #include <set>
 
+#include "net/staging.hh"
 #include "obs/tracer.hh"
+#include "os/cas.hh"
 
 namespace jets::core {
 
@@ -252,11 +254,51 @@ sim::Task<void> worker_main(const os::AppRegistry* apps, WorkerConfig config,
         state->sock->send(net::Message(kMsgReady));
       }
     } else if (m->tag == kMsgStageIn) {
-      // Data channel (§4.1): the file's bytes arrived with this message
-      // (wire time already charged by the socket); persist them locally.
-      const std::string& path = m->args.at(0);
-      co_await node.local_fs().write(path, m->payload_bytes);
-      state->sock->send(net::Message(kMsgStaged, {path}));
+      if (const auto h = net::parse_stage_args(m->args)) {
+        // Digest-addressed job staging: install through the node's CAS so
+        // repeat blobs dedup, and report any evictions the install caused
+        // back on the ack — the service's residency view depends on it.
+        std::vector<os::CasDigest> evicted;
+        switch (h->source) {
+          case net::StageHeader::Source::kWarm:
+            // Zero-byte probe: the service believes this digest is already
+            // resident. Normally just an LRU touch; on a miss (the ack
+            // reporting the eviction is still in flight) fall back to a
+            // pull from the service's shared store over the fabric.
+            if (!node.cas().touch(h->digest)) {
+              co_await sim::delay(machine.network().fabric().transfer_time(
+                  config.service.node, env.node, h->bytes));
+              evicted =
+                  co_await node.cas().put(h->digest, h->path, h->bytes);
+            }
+            break;
+          case net::StageHeader::Source::kPeer:
+            // Intra-group copy: the bytes cross peer->here, not
+            // service->here — this message itself carried none, so charge
+            // the fabric for the peer link before installing.
+            co_await sim::delay(machine.network().fabric().transfer_time(
+                h->peer, env.node, h->bytes));
+            evicted = co_await node.cas().put(h->digest, h->path, h->bytes);
+            break;
+          case net::StageHeader::Source::kPush:
+            // The bytes arrived with this message (wire time already
+            // charged by the socket); just install.
+            evicted = co_await node.cas().put(h->digest, h->path, h->bytes);
+            break;
+        }
+        std::vector<std::string> ack{h->path,
+                                     "d=" + os::cas_digest_hex(h->digest)};
+        for (const os::CasDigest d : evicted) {
+          ack.push_back("e=" + os::cas_digest_hex(d));
+        }
+        state->sock->send(net::Message(kMsgStaged, std::move(ack)));
+      } else {
+        // Data channel (§4.1): the file's bytes arrived with this message
+        // (wire time already charged by the socket); persist them locally.
+        const std::string& path = m->args.at(0);
+        co_await node.local_fs().write(path, m->payload_bytes);
+        state->sock->send(net::Message(kMsgStaged, {path}));
+      }
     }
   }
 

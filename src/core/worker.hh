@@ -107,11 +107,22 @@ struct WorkerConfig {
 ///                        status 124) or "killed" (service-requested kill,
 ///                        status 137)
 ///                       "staged" [path]        stage-in written locally
+///                        (legacy broadcast ack); the digest-addressed form
+///                        is "staged" [path, d=<hex16>, e=<hex16>...] — d
+///                        names the installed blob, each e reports a CAS
+///                        eviction the install caused (keeps the service's
+///                        residency view honest)
 ///                       "hb"                   liveness ping while busy
 ///   service -> worker:  "run" [task, n, argv..., k=v...]
 ///                       "kill" [task]
 ///                       "stagein" [path] + payload bytes (data channel:
-///                        file contents pushed over this connection, §4.1)
+///                        file contents pushed over this connection, §4.1);
+///                        the digest-addressed form is "stagein"
+///                        [path, d=<hex16>, b=<bytes>, s=<src>] where src is
+///                        "push" (payload carries the bytes), "peer:<node>"
+///                        (copy from that peer over the fabric) or "warm"
+///                        (zero-byte probe of a cache-resident blob) — see
+///                        net/staging.hh for the codec
 inline constexpr const char* kMsgRegister = "reg";
 inline constexpr const char* kMsgReady = "ready";
 inline constexpr const char* kMsgDone = "done";

@@ -46,6 +46,9 @@ class FileStore {
   virtual bool exists(const std::string& path) const = 0;
   virtual void put(const std::string& path, std::uint64_t bytes) = 0;
   virtual std::optional<std::uint64_t> size(const std::string& path) const = 0;
+  /// Metadata-only removal (no time charged); absent paths are a no-op.
+  /// The CAS layer's LRU eviction drops blobs through this.
+  virtual void remove(const std::string&) {}
 };
 
 /// Node-local RAM filesystem: fast, uncontended, private to one node.
@@ -67,6 +70,7 @@ class LocalFs final : public FileStore {
     if (it == files_.end()) return std::nullopt;
     return it->second;
   }
+  void remove(const std::string& path) override { files_.erase(path); }
 
  private:
   sim::Engine* engine_;

@@ -23,6 +23,7 @@
 
 #include "net/fabric.hh"
 #include "net/socket.hh"
+#include "os/cas.hh"
 #include "os/filesystem.hh"
 #include "sim/engine.hh"
 #include "sim/random.hh"
@@ -45,6 +46,10 @@ struct NodeSpec {
   /// Node-local storage (ZeptoOS ramdisk / local scratch).
   sim::Duration local_fs_latency = sim::microseconds(20);
   double local_fs_bps = 1.5e9;
+  /// Capacity of the node's content-addressed staging cache (os/cas.hh);
+  /// 0 = unbounded. Bounds resident staged-blob bytes with LRU eviction —
+  /// the ramdisk is a slice of node RAM, not a disk.
+  std::uint64_t cas_capacity = 0;
 };
 
 struct MachineSpec {
@@ -63,11 +68,15 @@ class Node {
   Node(sim::Engine& engine, NodeId id, const NodeSpec& spec)
       : id_(id), spec_(spec),
         local_fs_(engine, spec.local_fs_latency, spec.local_fs_bps),
+        cas_(local_fs_, spec.cas_capacity),
         cores_(engine, spec.cores) {}
 
   NodeId id() const { return id_; }
   const NodeSpec& spec() const { return spec_; }
   LocalFs& local_fs() { return local_fs_; }
+  /// Content-addressed staging cache over local_fs() (see os/cas.hh).
+  /// Shared by every worker on the node, like the ramdisk it models.
+  CasStore& cas() { return cas_; }
   sim::Semaphore& cores() { return cores_; }
 
   /// Page-cache model for program images: a binary exec'd from *local*
@@ -97,6 +106,7 @@ class Node {
   NodeId id_;
   NodeSpec spec_;
   LocalFs local_fs_;
+  CasStore cas_;
   sim::Semaphore cores_;
   std::set<std::string> resident_binaries_;
   double exec_scale_ = 1.0;
