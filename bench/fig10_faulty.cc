@@ -133,10 +133,14 @@ void run_scenario(const Scenario& sc) {
   for (std::size_t i = 1; i < core::kFailureReasonCount; ++i) {
     const auto reason = static_cast<core::FailureReason>(i);
     const std::size_t n = jets.service().failures_by_reason(reason);
-    // service-restart only happens in the (env-gated) recover scenario;
-    // print it only when nonzero so the legacy scenarios' trailers stay
-    // byte-identical to the committed golden manifest.
-    if (reason == core::FailureReason::kServiceRestart && n == 0) continue;
+    // service-restart and walltime-drain only happen in env-gated
+    // scenarios; print them only when nonzero so the legacy scenarios'
+    // trailers stay byte-identical to the committed golden manifest.
+    if ((reason == core::FailureReason::kServiceRestart ||
+         reason == core::FailureReason::kWalltimeDrain) &&
+        n == 0) {
+      continue;
+    }
     std::printf(" %s=%zu", core::to_string(reason), n);
   }
   std::printf(" | retries_scheduled=%zu\n", jets.service().retries_scheduled());

@@ -7,8 +7,8 @@
 # Runs the google-benchmark micro suite (engine schedule/cancel/dispatch,
 # scheduler choose_job/claim_workers, CAS put/get, stage fan-out dedup)
 # plus wall-clock timings of the two headline figure benches (fig06,
-# fig09) and the abl_staging cold-vs-warm sweep, and appends one JSON
-# entry to
+# fig09), the abl_staging cold-vs-warm sweep, and the fig07 elastic
+# scenario, and appends one JSON entry to
 # BENCH_sim.json keyed by commit. The file is an append-only trajectory:
 # one entry per measurement, never rewritten, so regressions are visible
 # as a time series across PRs. Numbers are host-dependent — compare
@@ -38,7 +38,7 @@ echo "== micro suite (google-benchmark) =="
 wall_ns() {  # wall-clock of one figure bench at default scale, output discarded
   local t0 t1
   t0=$(date +%s%N)
-  env -u JETS_LARGE_N -u JETS_STAGING "$1" > /dev/null
+  env -u JETS_LARGE_N -u JETS_STAGING -u JETS_ELASTIC "$1" > /dev/null
   t1=$(date +%s%N)
   echo $((t1 - t0))
 }
@@ -91,15 +91,24 @@ JETS_STAGING=1 "$BUILD/bench/abl_staging" \
   | sed -n 's/^# staging \([0-9]\)/\1/p' > "$staging_txt"
 cat "$staging_txt"
 
+# Elastic-allocation trajectory: the fig07 elastic scenario's ramp time,
+# pool peak, scale-out/in and drain counts (JETS_ELASTIC), so controller
+# regressions show in the same time series.
+echo "== elastic scenario (fig07, JETS_ELASTIC=1) =="
+elastic_txt="$trace_dir/elastic.txt"
+JETS_ELASTIC=1 "$BUILD/bench/fig07_cluster_util" \
+  | sed -n 's/^# elastic //p' > "$elastic_txt"
+cat "$elastic_txt"
+
 commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 date_iso=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 
 entry=$(python3 - "$micro_json" "$commit" "$date_iso" "$fig06_ns" "$fig09_ns" \
-        "$large_n_txt" "$recover_txt" "$staging_txt" <<'PY'
+        "$large_n_txt" "$recover_txt" "$staging_txt" "$elastic_txt" <<'PY'
 import json, platform, sys
 
 (micro_path, commit, date_iso, fig06_ns, fig09_ns, large_n_path,
- recover_path, staging_path) = sys.argv[1:9]
+ recover_path, staging_path, elastic_path) = sys.argv[1:10]
 with open(micro_path) as f:
     micro = json.load(f)
 
@@ -141,6 +150,18 @@ with open(staging_path) as f:
             "dedup_x": float(toks[6]),
         })
 
+# Rows: "key=value", one per line, from the fig07 elastic scenario.
+elastic = {}
+with open(elastic_path) as f:
+    for line in f:
+        k, sep, v = line.strip().partition("=")
+        if not sep:
+            continue
+        try:
+            elastic[k] = float(v) if "." in v else int(v)
+        except ValueError:
+            elastic[k] = v
+
 # Rows: "<bench> workers=N jobs=N tasks_per_s=R makespan_s=S [utilization=U]"
 large_n = []
 with open(large_n_path) as f:
@@ -177,6 +198,7 @@ entry = {
     "large_n": large_n,
     "recovery": recovery,
     "staging": staging,
+    "elastic": elastic,
     "micro": benches,
 }
 print(json.dumps(entry, indent=2))

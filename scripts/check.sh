@@ -6,8 +6,8 @@
 #   scripts/check.sh --all      # both of the above
 #
 # The default preset run is the ROADMAP tier-1 gate: every ctest entry
-# (labels unit, property, chaos, retry, obs, scale, recovery, staging)
-# must pass, and the
+# (labels unit, property, chaos, retry, obs, scale, recovery, staging,
+# elastic) must pass, and the
 # determinism smoke re-runs fig06_seq_rate twice and byte-diffs the
 # output — the engine's event order must be a pure function of the
 # inputs — then re-runs it with JETS_TRACE=1 and checks that, with the
@@ -21,8 +21,10 @@
 # digest/snapshot byte-equality and verbatim preservation of pre-crash
 # settled records, and a staging smoke: the JETS_STAGING=1 abl_staging
 # sweep must be byte-identical across two runs (warm-cache determinism)
-# and its cold/warm dedup factor at least 10x. The sanitizer pass re-runs
-# the fault-heavy
+# and its cold/warm dedup factor at least 10x, and an elastic smoke: the
+# JETS_ELASTIC=1 fig07 scenario must be byte-identical across two runs and
+# lose zero jobs to walltime expiry under allocation chaos. The sanitizer
+# pass re-runs the fault-heavy
 # suites (-L chaos and -L retry), the recovery suite (-L recovery, whose
 # codec tests fuzz the snapshot reader's bounds checks), the staging
 # suite (-L staging), plus the
@@ -107,6 +109,29 @@ if [[ "$run_default" == 1 ]]; then
   fi
   echo "staging smoke: OK"
 
+  echo "== elastic lane: ctest -L elastic (release) =="
+  ctest --preset default --no-tests=error -L elastic -j "$(nproc)"
+
+  echo "== elastic smoke: JETS_ELASTIC=1 fig07 twice, byte-identical, zero jobs lost =="
+  JETS_ELASTIC=1 ./build/bench/fig07_cluster_util > "$tmpdir/elastic_a.txt"
+  JETS_ELASTIC=1 ./build/bench/fig07_cluster_util > "$tmpdir/elastic_b.txt"
+  if ! cmp -s "$tmpdir/elastic_a.txt" "$tmpdir/elastic_b.txt"; then
+    echo "elastic smoke FAILED: elastic run not deterministic across reruns" >&2
+    diff "$tmpdir/elastic_a.txt" "$tmpdir/elastic_b.txt" >&2 || true
+    exit 1
+  fi
+  if ! grep -q '^# elastic jobs_lost_to_walltime=0$' "$tmpdir/elastic_a.txt"; then
+    echo "elastic smoke FAILED: jobs lost to walltime expiry (or no elastic rows)" >&2
+    grep '^# elastic' "$tmpdir/elastic_a.txt" >&2 || true
+    exit 1
+  fi
+  if ! grep -q '^# elastic failed=0$' "$tmpdir/elastic_a.txt"; then
+    echo "elastic smoke FAILED: jobs failed under elastic chaos" >&2
+    grep '^# elastic' "$tmpdir/elastic_a.txt" >&2 || true
+    exit 1
+  fi
+  echo "elastic smoke: OK"
+
   echo "== scheduler equivalence: 15 figures vs golden manifest =="
   ./scripts/scheduler_equiv.sh build
 
@@ -126,6 +151,7 @@ if [[ "$run_asan" == 1 ]]; then
   ctest --preset asan-ubsan --no-tests=error -L obs -j "$(nproc)"
   ctest --preset asan-ubsan --no-tests=error -L recovery -j "$(nproc)"
   ctest --preset asan-ubsan --no-tests=error -L staging -j "$(nproc)"
+  ctest --preset asan-ubsan --no-tests=error -L elastic -j "$(nproc)"
   ctest --preset asan-ubsan --no-tests=error -j "$(nproc)" \
     -R '^(Engine|Channel|Semaphore|Gate|Time|Rng)\.'
 fi

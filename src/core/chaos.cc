@@ -24,6 +24,9 @@ void ChaosEngine::attach_metrics(obs::MetricsRegistry& registry) {
   sync("jets.chaos.nodes_degraded", counters_.nodes_degraded);
   sync("jets.chaos.services_crashed", counters_.services_crashed);
   sync("jets.chaos.services_restored", counters_.services_restored);
+  sync("jets.chaos.allocations_denied", counters_.allocations_denied);
+  sync("jets.chaos.allocations_stalled", counters_.allocations_stalled);
+  sync("jets.chaos.allocations_preempted", counters_.allocations_preempted);
 }
 
 void ChaosEngine::bump(std::size_t ChaosCounters::* member, std::size_t d) {
@@ -42,6 +45,12 @@ void ChaosEngine::bump(std::size_t ChaosCounters::* member, std::size_t d) {
           ? "jets.chaos.services_crashed"
       : member == &ChaosCounters::services_restored
           ? "jets.chaos.services_restored"
+      : member == &ChaosCounters::allocations_denied
+          ? "jets.chaos.allocations_denied"
+      : member == &ChaosCounters::allocations_stalled
+          ? "jets.chaos.allocations_stalled"
+      : member == &ChaosCounters::allocations_preempted
+          ? "jets.chaos.allocations_preempted"
           : "jets.chaos.nodes_degraded";
   metrics_->counter(name).inc(d);
 }
@@ -146,6 +155,29 @@ void ChaosEngine::fire(const Fault& f) {
           restore_cb_();
           bump(&ChaosCounters::services_restored);
         });
+      }
+      break;
+    }
+    case FaultKind::kAllocationDeny: {
+      if (!batch_sched_) return;
+      batch_sched_->inject_denials(1);
+      bump(&ChaosCounters::allocations_denied);
+      break;
+    }
+    case FaultKind::kAllocationStall: {
+      if (!batch_sched_) return;
+      batch_sched_->inject_stall(f.duration);
+      bump(&ChaosCounters::allocations_stalled);
+      break;
+    }
+    case FaultKind::kPreemption: {
+      if (!batch_sched_) return;
+      const std::vector<std::uint64_t> ids = batch_sched_->live_ids();
+      if (ids.empty()) return;
+      const auto idx = static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(ids.size()) - 1));
+      if (batch_sched_->preempt(ids[idx])) {
+        bump(&ChaosCounters::allocations_preempted);
       }
       break;
     }

@@ -20,6 +20,15 @@
 //                  recover fault class). The engine only orchestrates: the
 //                  harness supplies crash/restore callbacks via
 //                  set_service_crash(), typically Snapshot-backed.
+//   kAllocationDeny — the batch system refuses the next submit outright
+//                  (site policy, exhausted fair-share). Needs
+//                  set_batch_scheduler().
+//   kAllocationStall — the batch queue freezes for `duration`: pending and
+//                  new requests sit until the stall clears (a wedged
+//                  scheduler daemon, a reservation blocking backfill).
+//   kPreemption  — a granted block is revoked ahead of its walltime
+//                  (backfill preemption, reservation reclaim), exercising
+//                  the same drain/requeue machinery as walltime expiry.
 //
 // Every random choice draws from one explicitly seeded sim::Rng at fire
 // time, and all faults are armed on the simulation clock, so a chaos run
@@ -47,6 +56,9 @@ enum class FaultKind {
   kHangWorker,
   kSlowNode,
   kServiceCrash,
+  kAllocationDeny,
+  kAllocationStall,
+  kPreemption,
 };
 
 /// Sentinel for Fault::node: pick a target deterministically (from the
@@ -79,6 +91,9 @@ struct ChaosCounters {
   std::size_t nodes_degraded = 0;
   std::size_t services_crashed = 0;
   std::size_t services_restored = 0;
+  std::size_t allocations_denied = 0;
+  std::size_t allocations_stalled = 0;
+  std::size_t allocations_preempted = 0;
 };
 
 class ChaosEngine {
@@ -107,6 +122,9 @@ class ChaosEngine {
     crash_cb_ = std::move(crash);
     restore_cb_ = std::move(restore);
   }
+  /// Target for allocation faults (deny/stall/preempt). Without it those
+  /// fault kinds are inert. The scheduler must outlive the engine.
+  void set_batch_scheduler(os::BatchScheduler* sched) { batch_sched_ = sched; }
 
   /// Adds one fault to the plan. Must be called before start().
   void add(Fault f) { plan_.push_back(f); }
@@ -147,6 +165,7 @@ class ChaosEngine {
   std::shared_ptr<WorkerHangRegistry> registry_;
   std::function<void()> crash_cb_;
   std::function<void()> restore_cb_;
+  os::BatchScheduler* batch_sched_ = nullptr;
   ChaosCounters counters_;
   obs::MetricsRegistry* metrics_ = nullptr;
   bool started_ = false;

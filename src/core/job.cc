@@ -28,6 +28,7 @@ const char* to_string(FailureReason reason) {
     case FailureReason::kJobDeadline: return "job-deadline";
     case FailureReason::kServiceAbort: return "service-abort";
     case FailureReason::kServiceRestart: return "service-restart";
+    case FailureReason::kWalltimeDrain: return "walltime-drain";
   }
   return "unknown";
 }

@@ -51,8 +51,14 @@ enum class FailureReason : std::uint8_t {
                       // checkpoint; the attempt died with it. Never charged
                       // to any retry budget — the job is blameless and the
                       // infrastructure event is the service's own.
+  kWalltimeDrain,     // the worker's pilot block hit (or was drained ahead
+                      // of) its walltime horizon, or was preempted by the
+                      // batch system; the job was requeued intact. Like
+                      // kServiceRestart, never charged to any budget and
+                      // never a blacklist strike — the allocation boundary
+                      // is the site's business, not the job's or node's.
 };
-inline constexpr std::size_t kFailureReasonCount = 9;
+inline constexpr std::size_t kFailureReasonCount = 10;
 
 const char* to_string(FailureReason reason);
 
@@ -63,7 +69,8 @@ constexpr bool is_infra_failure(FailureReason r) {
          r == FailureReason::kLivenessEvicted ||
          r == FailureReason::kGangPartnerLost ||
          r == FailureReason::kLaunchTimeout ||
-         r == FailureReason::kServiceRestart;
+         r == FailureReason::kServiceRestart ||
+         r == FailureReason::kWalltimeDrain;
 }
 
 /// Retry discipline applied when an attempt fails. The service holds the
@@ -133,6 +140,12 @@ struct JobSpec {
   /// fabric to a node at most once, later jobs hit warm cache (§5's
   /// staging feature, generalized from worker start-up to per-job data).
   std::vector<std::string> stage_files;
+
+  /// Caller's estimate of one attempt's runtime; 0 = unknown. Under
+  /// elastic allocations the service refuses to place a job on a worker
+  /// whose pilot block expires before now + expected_runtime, so work is
+  /// never started that the walltime is guaranteed to kill.
+  sim::Duration expected_runtime = 0;
 
   /// Number of workers (pilot slots) this job occupies while running.
   int workers_needed() const {

@@ -75,6 +75,8 @@ void Service::init_metrics() {
   m_stage_evictions_ = reg("jets.service.staging.evictions");
   m_stage_bytes_pushed_ = reg("jets.service.staging.bytes_pushed");
   m_stage_bytes_saved_ = reg("jets.service.staging.bytes_saved");
+  m_drain_requeues_ = reg("jets.service.elastic.drain_requeues");
+  m_gate_refusals_ = reg("jets.service.elastic.gate_refusals");
   for (std::size_t i = 0; i < kFailureReasonCount; ++i) {
     m_failures_[i] = reg((std::string("jets.service.failures.") +
                           to_string(static_cast<FailureReason>(i)))
@@ -119,6 +121,7 @@ Service::~Service() {
     w.liveness_timer.cancel();
     w.reoffer_timer.cancel();
   });
+  for (auto& [node, elastic] : node_elastic_) elastic.drain_timer.cancel();
   reconcile_timer_.cancel();
 }
 
@@ -627,21 +630,39 @@ std::optional<JobId> Service::choose_job() {
     const auto needed = static_cast<std::size_t>(queue_.front_width());
     if (ready_.size() < needed) return std::nullopt;  // head-of-line blocks
     const JobId head = queue_.front();
+    if (!node_elastic_.empty() &&
+        count_eligible(jobs_.at(head).rec.spec) < needed) {
+      // Enough raw workers, but not enough whose pilot blocks outlive the
+      // job's expected runtime: the walltime gate refuses the placement.
+      m_gate_refusals_->inc();
+      return std::nullopt;
+    }
     queue_.pop_front();
     return head;
   }
   // Priority + backfill: the first job in (priority desc, FIFO) order whose
   // worker demand fits the currently ready pool. The queue's bucket index
   // yields that order directly — no per-kick sort of the backlog.
-  return queue_.pop_first_fit([this](std::uint32_t width) {
-    return ready_.size() >= static_cast<std::size_t>(width);
+  return queue_.pop_first_fit([this](JobId id, std::uint32_t width) {
+    const auto needed = static_cast<std::size_t>(width);
+    if (ready_.size() < needed) return false;
+    if (node_elastic_.empty()) return true;
+    if (count_eligible(jobs_.at(id).rec.spec) < needed) {
+      m_gate_refusals_->inc();
+      return false;
+    }
+    return true;
   });
 }
 
 std::vector<Service::WorkerId> Service::claim_workers(std::size_t count,
                                                       const JobSpec& spec) {
   std::vector<WorkerId> claimed;
-  if (!config_.network_aware_grouping || count <= 1) {
+  if (!node_elastic_.empty()) {
+    // Elastic mode: FCFS among workers whose blocks are neither draining
+    // nor expiring before the job's expected runtime completes.
+    claimed = claim_eligible(count, spec);
+  } else if (!config_.network_aware_grouping || count <= 1) {
     // Paper default: first come, first served (§6.1.4).
     claimed.reserve(count);
     while (claimed.size() < count && !ready_.empty()) {
@@ -921,12 +942,15 @@ void Service::job_finished(JobId id, int status, FailureReason reason) {
   job.rec.last_reason = reason;
   job.restored_running = false;  // the rescued attempt did not survive
   m_failures_[static_cast<std::size_t>(reason)]->inc();
-  // A service restart is nobody's failure *budget-wise*: the attempt died
-  // because the scheduler itself did. It is recorded in the history (above)
-  // and the taxonomy counter, but charged to neither budget and exempt from
-  // both caps — a crash must never consume a job's retries.
-  const bool restart = reason == FailureReason::kServiceRestart;
-  if (!restart) {
+  // A service restart or a walltime drain is nobody's failure
+  // *budget-wise*: the attempt died because the scheduler crashed or the
+  // pilot block hit its allocation boundary. Both are recorded in the
+  // history (above) and the taxonomy counter, but charged to neither
+  // budget and exempt from both caps — a crash or an expiring allocation
+  // must never consume a job's retries.
+  const bool blameless = reason == FailureReason::kServiceRestart ||
+                         reason == FailureReason::kWalltimeDrain;
+  if (!blameless) {
     if (is_infra_failure(reason)) {
       ++job.rec.infra_failures;
     } else {
@@ -943,8 +967,8 @@ void Service::job_finished(JobId id, int status, FailureReason reason) {
   const bool terminal_reason = reason == FailureReason::kJobDeadline ||
                                reason == FailureReason::kServiceAbort;
   if (!terminal_reason && !job.deadline_passed &&
-      (restart || (charged < pol.max_attempts &&
-                   job.rec.infra_failures < pol.max_infra_failures))) {
+      (blameless || (charged < pol.max_attempts &&
+                     job.rec.infra_failures < pol.max_infra_failures))) {
     // Delayed requeue through the retry engine — never straight back to
     // the head of the queue.
     job.rec.status = JobStatus::kPending;
@@ -1072,8 +1096,12 @@ std::size_t Service::potential_capacity() const {
   // Ghosts awaiting reconciliation count as capacity: their pilots may
   // redial any moment, so reaping a wide job during the restore grace would
   // be premature.
+  // An elastic allocator floors the count at its pool ceiling: the pool
+  // may be momentarily empty between a drain and the next scale-out, and
+  // a wide queued job must survive that valley.
   if (config_.blacklist_after == 0) {
-    return connected_ + evicted_live_ + awaiting_;
+    return std::max(connected_ + evicted_live_ + awaiting_,
+                    elastic_capacity_);
   }
   std::size_t n = 0;
   workers_.for_each([&](WorkerId, const Worker& w) {
@@ -1083,7 +1111,7 @@ std::size_t Service::potential_capacity() const {
       ++n;  // could still re-enlist / reconcile
     }
   });
-  return n;
+  return std::max(n, elastic_capacity_);
 }
 
 void Service::reap_unsatisfiable() {
@@ -1105,6 +1133,94 @@ void Service::reap_unsatisfiable() {
     settle_job(job, JobStatus::kFailed, FailureReason::kServiceAbort);
   }
   if (!doomed.empty()) check_all_done();
+}
+
+// --- Elastic allocations -----------------------------------------------------
+
+void Service::set_node_expiry(os::NodeId node, sim::Time expires_at) {
+  node_elastic_[node].expires_at = expires_at;
+}
+
+void Service::drain_nodes(const std::vector<os::NodeId>& nodes,
+                          sim::Time deadline) {
+  for (os::NodeId node : nodes) {
+    NodeElastic& e = node_elastic_[node];
+    // A repeat drain may only *tighten* the deadline (a preemption landing
+    // on a block that was already draining toward its walltime).
+    if (e.draining && deadline >= e.drain_at) continue;
+    e.draining = true;
+    e.drain_at = deadline;
+    e.drain_timer.cancel();
+    if (deadline <= machine_->engine().now()) {
+      // Preemption path: the block dies as soon as this call returns, so
+      // the requeue must happen synchronously — before the pilots do.
+      drain_deadline(node);
+    } else {
+      e.drain_timer = machine_->engine().call_at(
+          deadline, [this, node] { drain_deadline(node); });
+    }
+  }
+}
+
+void Service::clear_node_elastic(const std::vector<os::NodeId>& nodes) {
+  for (os::NodeId node : nodes) {
+    auto it = node_elastic_.find(node);
+    if (it == node_elastic_.end()) continue;
+    it->second.drain_timer.cancel();
+    node_elastic_.erase(it);
+  }
+}
+
+bool Service::node_draining(os::NodeId node) const {
+  auto it = node_elastic_.find(node);
+  return it != node_elastic_.end() && it->second.draining;
+}
+
+bool Service::worker_eligible(const Worker& w, const JobSpec& spec) const {
+  auto it = node_elastic_.find(w.node);
+  if (it == node_elastic_.end()) return true;
+  const NodeElastic& e = it->second;
+  if (e.draining) return false;
+  // An unknown runtime cannot be gated; the drain deadline still rescues
+  // the job if the estimate was missing or wrong (zero-jobs-lost backstop).
+  if (e.expires_at < 0 || spec.expected_runtime <= 0) return true;
+  return machine_->engine().now() + spec.expected_runtime <= e.expires_at;
+}
+
+std::size_t Service::count_eligible(const JobSpec& spec) const {
+  std::size_t n = 0;
+  for (WorkerId wid : ready_.live_fifo()) {
+    if (worker_eligible(workers_.at(wid), spec)) ++n;
+  }
+  return n;
+}
+
+std::vector<Service::WorkerId> Service::claim_eligible(std::size_t count,
+                                                       const JobSpec& spec) {
+  std::vector<WorkerId> claimed;
+  claimed.reserve(count);
+  for (WorkerId wid : ready_.live_fifo()) {
+    if (claimed.size() == count) break;
+    if (worker_eligible(workers_.at(wid), spec)) claimed.push_back(wid);
+  }
+  for (WorkerId wid : claimed) ready_.erase(wid, workers_.at(wid).node);
+  return claimed;
+}
+
+void Service::drain_deadline(os::NodeId node) {
+  // Slot order is deterministic; a gang spanning the node appears once per
+  // assigned worker but settles on the first job_finished (the rest skip
+  // via the status check).
+  std::vector<JobId> victims;
+  workers_.for_each([&](WorkerId, const Worker& w) {
+    if (w.node == node && w.busy && w.job != 0) victims.push_back(w.job);
+  });
+  for (JobId id : victims) {
+    Job* j = jobs_.find(id);
+    if (!j || j->rec.status != JobStatus::kRunning) continue;
+    m_drain_requeues_->inc();
+    job_finished(id, 1, FailureReason::kWalltimeDrain);
+  }
 }
 
 // --- Worker liveness ---------------------------------------------------------

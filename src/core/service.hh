@@ -56,6 +56,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
@@ -285,6 +286,37 @@ class Service {
   /// (warm hits + coalesces; peer copies still move bytes, just cheaper).
   std::uint64_t stage_bytes_saved() const { return m_stage_bytes_saved_->value; }
 
+  // --- Elastic allocations (driven by swift::BlockAllocator) -----------------
+  //
+  // All four calls are opt-in: a service that never sees them keeps an
+  // empty elastic table, and every scheduling path below checks that
+  // emptiness first — default runs stay byte-identical to the golden
+  // manifest.
+
+  /// Tags every worker on `node` with its pilot block's walltime horizon.
+  /// The claim gate then refuses to place a job whose expected_runtime
+  /// does not fit in the remaining walltime.
+  void set_node_expiry(os::NodeId node, sim::Time expires_at);
+  /// Stops placing work on `nodes` immediately; anything still running
+  /// there at `deadline` is requeued with FailureReason::kWalltimeDrain
+  /// (no budget charge, no blacklist strike). A deadline at or before now
+  /// requeues synchronously — the preemption path relies on that to save
+  /// jobs before the batch system kills the pilots.
+  void drain_nodes(const std::vector<os::NodeId>& nodes, sim::Time deadline);
+  /// Forgets elastic state for released nodes (a later block may reuse
+  /// their ids with a fresh horizon).
+  void clear_node_elastic(const std::vector<os::NodeId>& nodes);
+  /// Floor for potential_capacity(): the allocator's pool ceiling. Keeps
+  /// reap_unsatisfiable from aborting wide queued jobs during a scale-in,
+  /// when the pool is momentarily small but can grow back.
+  void set_elastic_capacity(std::size_t cap) { elastic_capacity_ = cap; }
+
+  bool node_draining(os::NodeId node) const;
+  /// Jobs requeued at a drain deadline (the zero-jobs-lost path).
+  std::size_t drain_requeues() const { return m_drain_requeues_->value; }
+  /// Placements refused by the walltime claim gate.
+  std::size_t gate_refusals() const { return m_gate_refusals_->value; }
+
   /// Test hook: the ready pool holds no duplicates and only workers that
   /// are connected, idle, and not evicted.
   bool ready_pool_consistent() const;
@@ -381,9 +413,18 @@ class Service {
     }
 
     /// First job in (priority desc, FIFO-within-priority) order whose
-    /// cached width `fits`; removed from the queue when found.
+    /// cached width `fits`; removed from the queue when found. `fits` may
+    /// take (width) or (id, width) — the elastic claim gate needs the id
+    /// to look up the job's expected runtime.
     template <typename Fits>
     std::optional<JobId> pop_first_fit(Fits&& fits) {
+      const auto accepts = [&fits](const Entry& e) {
+        if constexpr (std::is_invocable_v<Fits&, JobId, std::uint32_t>) {
+          return static_cast<bool>(fits(e.id, e.width));
+        } else {
+          return static_cast<bool>(fits(e.width));
+        }
+      };
       for (auto bit = buckets_.begin(); bit != buckets_.end();) {
         std::deque<Entry>& bucket = bit->second;
         // Retired entries at the bucket front are free to drop.
@@ -393,7 +434,7 @@ class Service {
         }
         for (const Entry& e : bucket) {
           if (!is_live(e)) continue;
-          if (fits(e.width)) {
+          if (accepts(e)) {
             const JobId id = e.id;
             tickets_[id - 1] = 0;  // entry (and its fifo copy) now stale
             --live_;
@@ -679,6 +720,19 @@ class Service {
     bool restored_running = false;
   };
 
+  /// Per-node elastic-allocation state (see set_node_expiry/drain_nodes).
+  /// The table is empty unless an allocator drives the elastic API, and
+  /// every consumer checks that first — the golden-manifest benches never
+  /// touch this code.
+  struct NodeElastic {
+    /// Pilot-block walltime horizon; -1 = none known.
+    sim::Time expires_at = -1;
+    bool draining = false;
+    /// When still-running jobs get requeued (kWalltimeDrain); -1 = n/a.
+    sim::Time drain_at = -1;
+    sim::TimerHandle drain_timer;
+  };
+
   /// Per-node eviction/blacklist bookkeeping (see Config::blacklist_after
   /// and Config::blacklist_probation).
   struct NodeHealth {
@@ -746,6 +800,18 @@ class Service {
   /// Fails queued/backing-off jobs that were once satisfiable but whose
   /// width now exceeds potential_capacity() forever (kServiceAbort).
   void reap_unsatisfiable();
+
+  /// Elastic machinery: walltime-aware claim gate + drain requeues.
+  /// A worker may take `spec` iff its node is not draining and the block's
+  /// remaining walltime covers the job's expected runtime.
+  bool worker_eligible(const Worker& w, const JobSpec& spec) const;
+  std::size_t count_eligible(const JobSpec& spec) const;
+  /// FCFS among eligible workers (elastic mode trades the O(1) pop for an
+  /// O(ready) scan; elastic pools are far from the 10^6-worker hot path).
+  std::vector<WorkerId> claim_eligible(std::size_t count, const JobSpec& spec);
+  /// Fires at a node's drain deadline: requeues anything still running
+  /// there with kWalltimeDrain before the pilots die.
+  void drain_deadline(os::NodeId node);
 
   /// Liveness machinery (§5 feature 3 taken beyond EOF detection).
   void liveness_check(WorkerId wid);
@@ -817,6 +883,11 @@ class Service {
   /// serialization walks it deterministically.
   std::map<std::string, std::pair<StageDigest, std::uint64_t>> blob_info_;
   std::map<os::NodeId, NodeHealth> node_health_;
+  /// Ordered so the checkpoint codec and drain sweeps walk it
+  /// deterministically. Empty on every non-elastic run.
+  std::map<os::NodeId, NodeElastic> node_elastic_;
+  /// Capacity floor while an elastic allocator is attached (0 = none).
+  std::size_t elastic_capacity_ = 0;
   sim::Rng retry_rng_;
   std::size_t connected_ = 0;
   /// Workers currently disregarded but able to re-enlist; keeps
@@ -866,6 +937,8 @@ class Service {
   obs::Counter* m_stage_evictions_ = nullptr;
   obs::Counter* m_stage_bytes_pushed_ = nullptr;
   obs::Counter* m_stage_bytes_saved_ = nullptr;
+  obs::Counter* m_drain_requeues_ = nullptr;
+  obs::Counter* m_gate_refusals_ = nullptr;
   std::array<obs::Counter*, kFailureReasonCount> m_failures_{};
   /// Every counter above by registry name, in registration order — the
   /// checkpoint codec walks this to serialize counter values and restore

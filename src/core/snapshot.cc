@@ -27,6 +27,7 @@ enum SectionTag : std::uint16_t {
   kRng = 7,       // required
   kJournal = 8,   // optional
   kStaging = 9,   // optional
+  kElastic = 10,  // optional
 };
 
 constexpr std::uint8_t kFlagLittleEndian = 0x01;
@@ -159,6 +160,7 @@ void write_spec(Writer& w, const JobSpec& s) {
   if (s.retry) write_retry(w, *s.retry);
   w.u32(static_cast<std::uint32_t>(s.stage_files.size()));
   for (const std::string& f : s.stage_files) w.str(f);
+  w.i64(s.expected_runtime);
 }
 
 JobSpec read_spec(Reader& r) {
@@ -177,6 +179,7 @@ JobSpec read_spec(Reader& r) {
   s.priority = r.i32();
   if (r.boolean()) s.retry = read_retry(r);
   for (std::uint32_t n = r.u32(); n > 0; --n) s.stage_files.push_back(r.str());
+  s.expected_runtime = r.i64();
   return s;
 }
 
@@ -351,6 +354,16 @@ std::vector<std::uint8_t> Snapshot::serialize() const {
       for (std::uint64_t d : nc.digests) s.u64(d);
     }
   });
+  w.section(kElastic, [&](Writer& s) {
+    s.u64(elastic_capacity);
+    s.u32(static_cast<std::uint32_t>(elastic.size()));
+    for (const ElasticNodeSnap& en : elastic) {
+      s.u32(en.node);
+      s.i64(en.expires_at);
+      s.boolean(en.draining);
+      s.i64(en.drain_at);
+    }
+  });
   w.section(kJournal, [&](Writer& s) {
     s.u64(journal.size());
     for (const obs::Span& sp : journal) write_span(s, sp);
@@ -462,6 +475,17 @@ Snapshot Snapshot::parse(const std::vector<std::uint8_t>& bytes) {
           out.node_caches.push_back(std::move(nc));
         }
         break;
+      case kElastic:
+        out.elastic_capacity = s.u64();
+        for (std::uint32_t n = s.u32(); n > 0; --n) {
+          ElasticNodeSnap en;
+          en.node = s.u32();
+          en.expires_at = s.i64();
+          en.draining = s.boolean();
+          en.drain_at = s.i64();
+          out.elastic.push_back(en);
+        }
+        break;
       case kJournal:
         for (std::uint64_t n = s.u64(); n > 0; --n) {
           out.journal.push_back(read_span(s));
@@ -543,6 +567,15 @@ Snapshot Service::checkpoint() const {
   for (const auto& [node, h] : node_health_) {
     s.node_health.push_back(
         NodeHealthSnap{node, h.evictions, h.banned, h.banned_until});
+  }
+
+  // Elastic allocation state: a node's walltime horizon and drain progress
+  // survive the crash, so a restored service keeps refusing doomed
+  // placements and still requeues at the (re-armed) drain deadline.
+  s.elastic_capacity = elastic_capacity_;
+  for (const auto& [node, e] : node_elastic_) {
+    s.elastic.push_back(
+        ElasticNodeSnap{node, e.expires_at, e.draining, e.drain_at});
   }
 
   // Staging state: interned blobs (ascending path — blob_info_ is ordered)
@@ -701,6 +734,22 @@ void Service::apply_snapshot(const Snapshot& snap) {
   for (const NodeHealthSnap& nh : snap.node_health) {
     node_health_[nh.node] =
         NodeHealth{nh.evictions, nh.banned, nh.banned_until};
+  }
+
+  // Elastic state: horizons and drain flags verbatim; a drain deadline
+  // already overdue fires "now" so the block's jobs are still requeued.
+  elastic_capacity_ = snap.elastic_capacity;
+  for (const ElasticNodeSnap& en : snap.elastic) {
+    NodeElastic e;
+    e.expires_at = en.expires_at;
+    e.draining = en.draining;
+    e.drain_at = en.drain_at;
+    const os::NodeId node = en.node;
+    if (en.draining && en.drain_at >= 0) {
+      e.drain_timer = machine_->engine().call_at(
+          std::max(en.drain_at, now), [this, node] { drain_deadline(node); });
+    }
+    node_elastic_[node] = e;
   }
 
   // Staging state: blob identities and acked residency survive the crash

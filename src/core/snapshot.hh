@@ -109,6 +109,20 @@ struct NodeCacheSnap {
   friend bool operator==(const NodeCacheSnap&, const NodeCacheSnap&) = default;
 };
 
+/// Per-node elastic-allocation state (walltime horizon + drain progress);
+/// present only for runs driven by an elastic allocator. Drain deadlines
+/// are re-armed on restore (clamped to `now`), so a crash between a drain
+/// start and its deadline still requeues the block's jobs.
+struct ElasticNodeSnap {
+  std::uint32_t node = 0;
+  sim::Time expires_at = -1;
+  bool draining = false;
+  sim::Time drain_at = -1;
+
+  friend bool operator==(const ElasticNodeSnap&, const ElasticNodeSnap&) =
+      default;
+};
+
 /// Per-node blacklist/probation state.
 struct NodeHealthSnap {
   std::uint32_t node = 0;
@@ -145,6 +159,10 @@ struct Snapshot {
   std::vector<WorkerSnap> workers;
   /// Blacklist state, ascending node.
   std::vector<NodeHealthSnap> node_health;
+  /// Elastic allocation state, ascending node (empty on non-elastic runs).
+  std::vector<ElasticNodeSnap> elastic;
+  /// Elastic capacity floor (see Service::set_elastic_capacity).
+  std::uint64_t elastic_capacity = 0;
   /// Interned staging blobs, ascending path.
   std::vector<BlobSnap> blobs;
   /// Warm-cache residency, ascending node (nodes with any resident digest).

@@ -167,6 +167,19 @@ sim::Task<void> Machine::wait(Pid pid) {
 
 // --- BatchScheduler --------------------------------------------------------------
 
+const char* to_string(AllocationError::Kind kind) {
+  switch (kind) {
+    case AllocationError::Kind::kDenied: return "denied";
+    case AllocationError::Kind::kOutOfNodes: return "out-of-nodes";
+    case AllocationError::Kind::kQueueStarvation: return "queue-starvation";
+  }
+  return "?";
+}
+
+BatchScheduler::~BatchScheduler() {
+  for (auto& [id, live] : live_) live.walltime_timer.cancel();
+}
+
 sim::Task<BatchScheduler::Allocation> BatchScheduler::submit(
     std::size_t nodes, sim::Duration walltime) {
   if (nodes < policy_.min_nodes) {
@@ -176,12 +189,26 @@ sim::Task<BatchScheduler::Allocation> BatchScheduler::submit(
     throw std::invalid_argument("allocation exceeds machine size");
   }
   if (busy_.empty()) busy_.resize(machine_->compute_node_count(), false);
+  if (injected_denials_ > 0) {
+    --injected_denials_;
+    throw AllocationError(AllocationError::Kind::kDenied,
+                          "allocation denied by site policy");
+  }
 
   // Queue wait grows with request size (crude model of backfill pressure).
   const sim::Duration mean_wait =
       policy_.base_queue_wait +
       policy_.wait_per_node * static_cast<sim::Duration>(nodes);
-  co_await sim::delay(rng_.exponential_duration(mean_wait));
+  sim::Duration wait = rng_.exponential_duration(mean_wait);
+  const sim::Time entered = machine_->engine().now();
+  // A stalled queue holds every pending request until the stall clears.
+  if (stall_until_ > entered + wait) wait = stall_until_ - entered;
+  if (policy_.submit_timeout > 0 && wait > policy_.submit_timeout) {
+    co_await sim::delay(policy_.submit_timeout);
+    throw AllocationError(AllocationError::Kind::kQueueStarvation,
+                          "allocation request starved in the batch queue");
+  }
+  co_await sim::delay(wait);
   co_await sim::delay(policy_.boot_time);
 
   Allocation alloc;
@@ -194,28 +221,76 @@ sim::Task<BatchScheduler::Allocation> BatchScheduler::submit(
   }
   if (alloc.nodes.size() < nodes) {
     for (NodeId id : alloc.nodes) busy_[id] = false;
-    throw std::runtime_error("machine out of free nodes");
+    throw AllocationError(AllocationError::Kind::kOutOfNodes,
+                          "machine out of free nodes");
   }
+  alloc.id = next_alloc_id_++;
   alloc.started_at = machine_->engine().now();
   alloc.expires_at = alloc.started_at + walltime;
+  live_.emplace(alloc.id, Live{alloc, {}, {}});
   co_return alloc;
 }
 
 void BatchScheduler::release(const Allocation& alloc) {
-  for (NodeId id : alloc.nodes) busy_.at(id) = false;
+  auto it = live_.find(alloc.id);
+  if (it == live_.end()) return;  // stale copy or double release: no-op
+  it->second.walltime_timer.cancel();
+  for (NodeId id : it->second.alloc.nodes) busy_.at(id) = false;
+  live_.erase(it);
 }
 
 void BatchScheduler::enforce_walltime(const Allocation& alloc,
                                       std::vector<Machine::Pid> pilots) {
-  Machine* machine = machine_;
-  const Allocation copy = alloc;
-  machine->engine().call_at(alloc.expires_at,
-                            [this, machine, copy, pilots = std::move(pilots)] {
-                              for (Machine::Pid pid : pilots) {
-                                machine->kill(pid);
-                              }
-                              release(copy);
-                            });
+  auto it = live_.find(alloc.id);
+  if (it == live_.end()) return;  // already released: nothing to enforce
+  it->second.pilots = std::move(pilots);
+  it->second.walltime_timer.cancel();
+  const std::uint64_t id = alloc.id;
+  it->second.walltime_timer =
+      machine_->engine().call_at(it->second.alloc.expires_at,
+                                 [this, id] { expire(id); });
+}
+
+void BatchScheduler::expire(std::uint64_t id) {
+  auto it = live_.find(id);
+  if (it == live_.end()) return;
+  for (Machine::Pid pid : it->second.pilots) machine_->kill(pid);
+  for (NodeId n : it->second.alloc.nodes) busy_.at(n) = false;
+  live_.erase(it);
+}
+
+bool BatchScheduler::preempt(std::uint64_t id) {
+  auto it = live_.find(id);
+  if (it == live_.end()) return false;
+  const Allocation alloc = it->second.alloc;
+  // Handler runs before any pilot dies so the service can drain/requeue
+  // the allocation's jobs synchronously — nothing is lost to the kill.
+  if (on_preempt_) on_preempt_(alloc);
+  it = live_.find(id);  // the handler may have released it already
+  if (it == live_.end()) return true;
+  it->second.walltime_timer.cancel();
+  for (Machine::Pid pid : it->second.pilots) machine_->kill(pid);
+  for (NodeId n : it->second.alloc.nodes) busy_.at(n) = false;
+  live_.erase(it);
+  return true;
+}
+
+void BatchScheduler::inject_stall(sim::Duration window) {
+  const sim::Time until = machine_->engine().now() + window;
+  if (until > stall_until_) stall_until_ = until;
+}
+
+std::vector<std::uint64_t> BatchScheduler::live_ids() const {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(live_.size());
+  for (const auto& [id, live] : live_) ids.push_back(id);
+  return ids;
+}
+
+const BatchScheduler::Allocation* BatchScheduler::live_allocation(
+    std::uint64_t id) const {
+  auto it = live_.find(id);
+  return it == live_.end() ? nullptr : &it->second.alloc;
 }
 
 std::size_t BatchScheduler::free_nodes() const {

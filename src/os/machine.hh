@@ -15,8 +15,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -225,11 +228,39 @@ class Machine {
   std::unordered_map<Pid, std::vector<Pid>> children_;
 };
 
+/// Typed failure taxonomy for allocation requests. Distinct from the
+/// std::invalid_argument thrown for caller bugs (below-minimum / oversize
+/// requests): an AllocationError is a *site* outcome a resilient allocator
+/// is expected to retry or route around.
+class AllocationError : public std::runtime_error {
+ public:
+  enum class Kind {
+    kDenied,           // batch system refused the request (policy/chaos)
+    kOutOfNodes,       // machine has no contiguous free capacity left
+    kQueueStarvation,  // request sat in the queue past submit_timeout
+  };
+
+  AllocationError(Kind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+const char* to_string(AllocationError::Kind kind);
+
 /// Cobalt/PBS-like batch scheduler: an allocation request waits in the
 /// queue (longer for bigger requests), boots ("allocations may take on the
 /// order of minutes to boot", §1), then exposes its node list until the
 /// walltime expires. This is step (1) of the paper's Fig 1 model and the
 /// substrate for the spectrum-allocator extension (§7).
+///
+/// Every grant carries a unique allocation id; release/walltime/preempt all
+/// key off the id, so a stale Allocation copy (already released, nodes
+/// re-granted) is a harmless no-op instead of freeing nodes out from under
+/// a later allocation.
 class BatchScheduler {
  public:
   struct Policy {
@@ -239,9 +270,16 @@ class BatchScheduler {
     /// distributed jitter around the mean).
     sim::Duration wait_per_node = sim::milliseconds(500);
     std::size_t min_nodes = 1;  // site policy, e.g. 512 on Intrepid (§3)
+    /// Queue-starvation deadline: a request that would not clear the queue
+    /// within this window fails with AllocationError::kQueueStarvation
+    /// instead of waiting forever. 0 = wait indefinitely.
+    sim::Duration submit_timeout = 0;
   };
 
   struct Allocation {
+    /// Unique grant id (0 = never granted). Stale copies are detected by
+    /// id lookup, never by node list.
+    std::uint64_t id = 0;
     std::vector<NodeId> nodes;
     sim::Time started_at = 0;
     sim::Time expires_at = 0;
@@ -249,28 +287,70 @@ class BatchScheduler {
 
   BatchScheduler(Machine& machine, Policy policy, sim::Rng rng)
       : machine_(&machine), policy_(policy), rng_(rng) {}
+  ~BatchScheduler();
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
 
   /// Waits (queue + boot) and returns an allocation of `nodes` free nodes.
   /// Throws std::invalid_argument if the request violates site policy or
-  /// exceeds the machine, std::runtime_error if nodes are exhausted.
+  /// exceeds the machine; AllocationError for site outcomes (denied,
+  /// out of nodes, queue starvation).
   sim::Task<Allocation> submit(std::size_t nodes, sim::Duration walltime);
 
-  /// Returns an allocation's nodes to the free pool.
+  /// Returns an allocation's nodes to the free pool and cancels its
+  /// walltime timer. Idempotent by id: releasing twice, or releasing a
+  /// stale copy whose id is no longer live, is a no-op.
   void release(const Allocation& alloc);
 
   /// Arms the allocation's walltime: at expires_at every pid in `pilots`
   /// is killed (taking its task subtree) and the nodes are released —
   /// what Cobalt does to pilot jobs when "the allocation expires" (§1).
+  /// A no-op if the allocation was already released; release() before
+  /// expiry disarms the timer.
   void enforce_walltime(const Allocation& alloc,
                         std::vector<Machine::Pid> pilots);
 
+  /// Revokes a live allocation ahead of its walltime (backfill preemption,
+  /// reservation reclaim). Fires the preempt handler first — giving the
+  /// service a chance to drain/requeue synchronously — then kills the
+  /// registered pilots and releases the nodes. Returns false if the id is
+  /// not live.
+  bool preempt(std::uint64_t id);
+
+  /// Called at the start of preempt(), before any pilot is killed.
+  void set_preempt_handler(std::function<void(const Allocation&)> fn) {
+    on_preempt_ = std::move(fn);
+  }
+
+  /// Chaos hooks: the next `n` submits are denied at grant time; requests
+  /// in (or entering) the queue stall until now + `window`.
+  void inject_denials(std::size_t n) { injected_denials_ += n; }
+  void inject_stall(sim::Duration window);
+
   std::size_t free_nodes() const;
+  /// Live (granted, unreleased) allocation ids in grant order.
+  std::vector<std::uint64_t> live_ids() const;
+  const Allocation* live_allocation(std::uint64_t id) const;
 
  private:
+  struct Live {
+    Allocation alloc;
+    std::vector<Machine::Pid> pilots;
+    sim::TimerHandle walltime_timer;
+  };
+
+  void expire(std::uint64_t id);
+
   Machine* machine_;
   Policy policy_;
   sim::Rng rng_;
   std::vector<bool> busy_;  // lazily sized to compute_nodes
+  std::uint64_t next_alloc_id_ = 1;
+  std::map<std::uint64_t, Live> live_;
+  std::size_t injected_denials_ = 0;
+  sim::Time stall_until_ = -1;
+  std::function<void(const Allocation&)> on_preempt_;
 };
 
 }  // namespace jets::os

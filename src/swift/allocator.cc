@@ -1,0 +1,213 @@
+#include "swift/allocator.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/engine.hh"
+
+namespace jets::swift {
+
+BlockAllocator::BlockAllocator(os::Machine& machine,
+                               const os::AppRegistry& apps,
+                               core::Service& service,
+                               os::BatchScheduler& sched,
+                               core::WorkerConfig worker, ElasticPolicy policy)
+    : machine_(&machine),
+      apps_(&apps),
+      service_(&service),
+      sched_(&sched),
+      worker_(std::move(worker)),
+      policy_(policy),
+      rng_(sim::Rng(policy.seed).fork("elastic")) {}
+
+BlockAllocator::~BlockAllocator() { poll_timer_.cancel(); }
+
+void BlockAllocator::start() {
+  if (running_) return;
+  running_ = true;
+  worker_.service = service_->address();
+  // Capacity floor: jobs wider than the *current* pool are not
+  // unsatisfiable — the pool can grow to meet them.
+  service_->set_elastic_capacity(
+      policy_.max_nodes * static_cast<std::size_t>(policy_.workers_per_node));
+  sched_->set_preempt_handler(
+      [this](const os::BatchScheduler::Allocation& alloc) {
+        on_preempt(alloc);
+      });
+  if (policy_.min_nodes > 0) {
+    const std::size_t want = std::min(policy_.min_nodes, policy_.max_nodes);
+    pending_submit_nodes_ += want;
+    machine_->engine().spawn("elastic/bootstrap", submit_block(want));
+  }
+  poll_timer_ =
+      machine_->engine().call_in(policy_.poll_interval, [this] { poll(); });
+}
+
+void BlockAllocator::stop() {
+  if (!running_) return;
+  running_ = false;
+  poll_timer_.cancel();
+  // Tear the whole pool down so the engine can quiesce: kill pilots,
+  // release every allocation (disarming walltime timers), forget the
+  // nodes' elastic state.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(blocks_.size());
+  for (const auto& [id, block] : blocks_) ids.push_back(id);
+  for (std::uint64_t id : ids) finish_block(id);
+}
+
+std::size_t BlockAllocator::pool_nodes() const {
+  std::size_t n = 0;
+  for (const auto& [id, block] : blocks_) n += block.alloc.nodes.size();
+  return n;
+}
+
+void BlockAllocator::poll() {
+  if (!running_) return;
+  const sim::Time now = machine_->engine().now();
+
+  // 1. Drain-ahead: any block within drain_lead of its walltime horizon
+  // stops taking work now; still-running jobs get drain_grace to finish,
+  // then are requeued (kWalltimeDrain) and the block is torn down — all
+  // strictly before the batch system's killer would have fired.
+  for (auto& [id, block] : blocks_) {
+    if (block.draining) continue;
+    if (now < block.alloc.expires_at - policy_.drain_lead) continue;
+    block.draining = true;
+    ++counters_.expiry_drains;
+    sim::Time requeue_at = now + policy_.drain_grace;
+    if (requeue_at >= block.alloc.expires_at) {
+      requeue_at = block.alloc.expires_at - 1;
+    }
+    if (requeue_at < now) requeue_at = now;
+    // Order matters: the service's drain timer is armed first, so at
+    // requeue_at the forced requeue fires *before* drain_block kills the
+    // pilots — jobs come back as kWalltimeDrain, never kWorkerLost.
+    service_->drain_nodes(block.alloc.nodes, requeue_at);
+    machine_->engine().spawn("elastic/drain", drain_block(id, requeue_at));
+  }
+
+  // 2. Scale-in: after a sustained fully-idle window, retire the newest
+  // non-draining block, keeping the pool at or above min_nodes.
+  if (service_->pending_jobs() == 0 && service_->running_jobs() == 0) {
+    if (idle_since_ < 0) idle_since_ = now;
+    if (now - idle_since_ >= policy_.idle_before_shrink) {
+      for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
+        if (it->second.draining) continue;
+        const std::size_t size = it->second.alloc.nodes.size();
+        if (pool_nodes() - size < policy_.min_nodes) continue;
+        ++counters_.scale_ins;
+        // The pool is idle, so the drain is a pure formality (no jobs to
+        // requeue) — done synchronously so the release below is clean.
+        service_->drain_nodes(it->second.alloc.nodes, now);
+        finish_block(it->first);
+        idle_since_ = now;  // one block per idle window
+        break;
+      }
+    }
+  } else {
+    idle_since_ = -1;
+  }
+
+  // 3. Scale-out: backlog above the watermark grows the pool by one block,
+  // counting in-flight submits against the ceiling so concurrent polls
+  // never over-provision.
+  if (service_->pending_jobs() > policy_.backlog_high) {
+    const std::size_t held = pool_nodes() + pending_submit_nodes_;
+    if (held < policy_.max_nodes) {
+      const std::size_t want =
+          std::min(policy_.block_size, policy_.max_nodes - held);
+      pending_submit_nodes_ += want;
+      machine_->engine().spawn("elastic/submit", submit_block(want));
+    }
+  }
+
+  poll_timer_ =
+      machine_->engine().call_in(policy_.poll_interval, [this] { poll(); });
+}
+
+sim::Task<void> BlockAllocator::submit_block(std::size_t nodes) {
+  for (int attempt = 0;; ++attempt) {
+    bool retry = false;
+    try {
+      os::BatchScheduler::Allocation alloc =
+          co_await sched_->submit(nodes, policy_.walltime);
+      pending_submit_nodes_ -= std::min(nodes, pending_submit_nodes_);
+      if (!running_) {
+        // stop() raced the grant: hand the block straight back.
+        sched_->release(alloc);
+        co_return;
+      }
+      ++counters_.scale_outs;
+      if (first_grant_at_ < 0) first_grant_at_ = machine_->engine().now();
+      Block block;
+      block.alloc = alloc;
+      for (os::NodeId node : alloc.nodes) {
+        service_->set_node_expiry(node, alloc.expires_at);
+        for (int w = 0; w < policy_.workers_per_node; ++w) {
+          block.pilots.push_back(
+              core::start_worker(*machine_, *apps_, node, worker_));
+        }
+      }
+      // Backstop only: the drain-ahead sweep retires the block before this
+      // fires, and release() in finish_block disarms it.
+      sched_->enforce_walltime(alloc, block.pilots);
+      blocks_.emplace(alloc.id, std::move(block));
+      peak_pool_ = std::max(peak_pool_, pool_nodes());
+      co_return;
+    } catch (const os::AllocationError& e) {
+      switch (e.kind()) {
+        case os::AllocationError::Kind::kDenied:
+          ++counters_.submits_denied;
+          break;
+        case os::AllocationError::Kind::kOutOfNodes:
+          ++counters_.submits_out_of_nodes;
+          break;
+        case os::AllocationError::Kind::kQueueStarvation:
+          ++counters_.submits_starved;
+          break;
+      }
+      retry = running_ && attempt < policy_.submit_retries;
+    }
+    if (!retry) {
+      pending_submit_nodes_ -= std::min(nodes, pending_submit_nodes_);
+      co_return;
+    }
+    // Seeded-jitter backoff: deterministic for a given seed, but staggered
+    // so concurrent retries do not resubmit in lockstep.
+    ++counters_.submit_retries;
+    const double scale = 1.0 + rng_.uniform(0.0, policy_.retry_jitter);
+    co_await sim::delay(static_cast<sim::Duration>(
+        static_cast<double>(policy_.retry_backoff) * scale));
+  }
+}
+
+sim::Task<void> BlockAllocator::drain_block(std::uint64_t id,
+                                            sim::Time requeue_at) {
+  const sim::Time now = machine_->engine().now();
+  if (requeue_at > now) co_await sim::delay(requeue_at - now);
+  finish_block(id);
+}
+
+void BlockAllocator::finish_block(std::uint64_t id) {
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) return;
+  for (os::Machine::Pid pid : it->second.pilots) machine_->kill(pid);
+  sched_->release(it->second.alloc);
+  service_->clear_node_elastic(it->second.alloc.nodes);
+  blocks_.erase(it);
+}
+
+void BlockAllocator::on_preempt(const os::BatchScheduler::Allocation& alloc) {
+  auto it = blocks_.find(alloc.id);
+  if (it == blocks_.end()) return;
+  ++counters_.preempt_drains;
+  // Revocation is immediate: requeue every running job on the block
+  // synchronously (kWalltimeDrain, uncharged) before the scheduler kills
+  // the pilots. The scheduler frees the nodes itself after this returns.
+  service_->drain_nodes(alloc.nodes, machine_->engine().now());
+  service_->clear_node_elastic(alloc.nodes);
+  blocks_.erase(it);
+}
+
+}  // namespace jets::swift

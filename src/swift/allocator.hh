@@ -1,0 +1,150 @@
+// Elastic block allocator: the Coasters-style controller that grows and
+// shrinks the pilot pool under Service queue pressure (ROADMAP item 5's
+// elasticity half; "A Comprehensive Perspective on Pilot-Job Systems"
+// surveys this as the signature pilot-system capability).
+//
+// The controller polls the service on a fixed cadence and keeps three
+// invariants:
+//
+//   scale-out   — backlog above the watermark submits another block of
+//                 `block_size` nodes through os::BatchScheduler, with a
+//                 seeded-jitter retry/backoff loop over the typed
+//                 AllocationError taxonomy (denied / out-of-nodes /
+//                 queue-starvation), up to `max_nodes`.
+//   scale-in    — a pool idle for `idle_before_shrink` gracefully drains
+//                 its newest block (stop placing, nothing in flight to
+//                 wait for, kill pilots, release) down to `min_nodes`.
+//   drain-ahead — a block within `drain_lead` of its walltime horizon is
+//                 drained *before* Cobalt's killer fires: the service
+//                 stops placing onto it (walltime-aware claim gate),
+//                 running jobs get `drain_grace` to finish, anything left
+//                 is requeued with the infra-exempt kWalltimeDrain, and
+//                 only then are the pilots killed and the nodes released.
+//                 Preemption (the batch system revoking a granted block
+//                 early) rides the same machinery, just with a synchronous
+//                 drain — so no job is ever lost to an allocation
+//                 boundary.
+//
+// Every decision draws from one seeded rng and all timers live on the
+// simulation clock, so an elastic run is byte-reproducible: same seed +
+// same workload => identical execution.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/service.hh"
+#include "core/standalone.hh"
+#include "os/machine.hh"
+#include "sim/random.hh"
+#include "sim/task.hh"
+#include "sim/time.hh"
+
+namespace jets::swift {
+
+struct ElasticPolicy {
+  /// Pool floor: blocks are never drained below this many nodes, and
+  /// start() provisions this many up front (0 = start empty).
+  std::size_t min_nodes = 0;
+  /// Pool ceiling across all live blocks plus in-flight submits.
+  std::size_t max_nodes = 64;
+  /// Nodes per scale-out block (clamped to the remaining headroom).
+  std::size_t block_size = 8;
+  /// Scale out when pending jobs exceed this watermark.
+  std::size_t backlog_high = 4;
+  sim::Duration poll_interval = sim::seconds(5);
+  /// Pool must be fully idle (no pending, no running) this long before a
+  /// block is drained for scale-in.
+  sim::Duration idle_before_shrink = sim::seconds(30);
+  /// Walltime requested for every block.
+  sim::Duration walltime = sim::seconds(1800);
+  /// Begin draining a block this far before its expires_at.
+  sim::Duration drain_lead = sim::seconds(30);
+  /// Once a drain begins, running jobs get this long to finish naturally
+  /// before the forced kWalltimeDrain requeue. Must leave
+  /// drain_lead - drain_grace of slack to kill and release before expiry.
+  sim::Duration drain_grace = sim::seconds(10);
+  /// Retry/backoff over AllocationError: total attempts = 1 + retries.
+  int submit_retries = 4;
+  sim::Duration retry_backoff = sim::seconds(5);
+  /// Backoff multiplier drawn uniformly from [1, 1 + jitter).
+  double retry_jitter = 0.5;
+  std::uint64_t seed = 2011;
+  int workers_per_node = 1;
+};
+
+struct ElasticCounters {
+  std::size_t scale_outs = 0;      // blocks granted
+  std::size_t scale_ins = 0;       // idle blocks drained + released
+  std::size_t expiry_drains = 0;   // blocks drained ahead of walltime
+  std::size_t preempt_drains = 0;  // blocks revoked by the batch system
+  std::size_t submits_denied = 0;
+  std::size_t submits_out_of_nodes = 0;
+  std::size_t submits_starved = 0;
+  std::size_t submit_retries = 0;
+};
+
+class BlockAllocator {
+ public:
+  BlockAllocator(os::Machine& machine, const os::AppRegistry& apps,
+                 core::Service& service, os::BatchScheduler& sched,
+                 core::WorkerConfig worker, ElasticPolicy policy);
+  ~BlockAllocator();
+
+  BlockAllocator(const BlockAllocator&) = delete;
+  BlockAllocator& operator=(const BlockAllocator&) = delete;
+
+  /// Registers the preempt handler, floors the service's capacity at the
+  /// pool ceiling, provisions `min_nodes`, and starts polling.
+  void start();
+  /// Stops polling and tears the whole pool down (kill, release, clear).
+  /// Harnesses call this once the workload settles so the engine can
+  /// reach quiescence instead of idling until every walltime expires.
+  void stop();
+
+  const ElasticCounters& counters() const { return counters_; }
+  /// Nodes currently held across live blocks.
+  std::size_t pool_nodes() const;
+  std::size_t peak_pool_nodes() const { return peak_pool_; }
+  std::size_t live_blocks() const { return blocks_.size(); }
+  /// Time the first block was granted (-1 = never): the ramp metric.
+  sim::Time first_grant_at() const { return first_grant_at_; }
+
+ private:
+  struct Block {
+    os::BatchScheduler::Allocation alloc;
+    std::vector<os::Machine::Pid> pilots;
+    bool draining = false;
+  };
+
+  void poll();
+  sim::Task<void> submit_block(std::size_t nodes);
+  sim::Task<void> drain_block(std::uint64_t id, sim::Time requeue_at);
+  /// Kills the block's pilots, releases the allocation (idempotent by id,
+  /// disarming the walltime backstop), and clears the service's elastic
+  /// state for its nodes.
+  void finish_block(std::uint64_t id);
+  void on_preempt(const os::BatchScheduler::Allocation& alloc);
+
+  os::Machine* machine_;
+  const os::AppRegistry* apps_;
+  core::Service* service_;
+  os::BatchScheduler* sched_;
+  core::WorkerConfig worker_;
+  ElasticPolicy policy_;
+  sim::Rng rng_;
+  /// Ordered by allocation id (= grant order) so every sweep and the
+  /// scale-in pick are deterministic.
+  std::map<std::uint64_t, Block> blocks_;
+  std::size_t pending_submit_nodes_ = 0;
+  sim::Time idle_since_ = -1;
+  bool running_ = false;
+  sim::TimerHandle poll_timer_;
+  ElasticCounters counters_;
+  std::size_t peak_pool_ = 0;
+  sim::Time first_grant_at_ = -1;
+};
+
+}  // namespace jets::swift

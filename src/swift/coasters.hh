@@ -49,6 +49,9 @@ class CoasterService {
 
   core::Service& service() { return *service_; }
   std::size_t worker_count() const { return worker_pids_.size(); }
+  /// Blocks whose submit failed with AllocationError (denied, out of
+  /// nodes, starved). The service proceeds degraded on the rest.
+  std::size_t blocks_failed() const { return blocks_failed_; }
   const std::vector<os::Machine::Pid>& worker_pids() const {
     return worker_pids_;
   }
@@ -65,6 +68,7 @@ class CoasterService {
   Config config_;
   std::unique_ptr<core::Service> service_;
   std::vector<os::Machine::Pid> worker_pids_;
+  std::size_t blocks_failed_ = 0;
 };
 
 }  // namespace jets::swift
