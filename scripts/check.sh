@@ -7,7 +7,7 @@
 #
 # The default preset run is the ROADMAP tier-1 gate: every ctest entry
 # (labels unit, property, chaos, retry, obs, scale, recovery, staging,
-# elastic) must pass, and the
+# elastic, rpc) must pass, and the
 # determinism smoke re-runs fig06_seq_rate twice and byte-diffs the
 # output — the engine's event order must be a pure function of the
 # inputs — then re-runs it with JETS_TRACE=1 and checks that, with the
@@ -30,8 +30,13 @@
 # suite (-L staging), plus the
 # property suites (including the
 # SoA-table churn differentials), the scale suite at its small default N,
-# the observability suite (-L obs), and the engine/sync tests, which
-# exercise the slab allocators' recycling paths hardest.
+# the observability suite (-L obs), the RPC conformance + fuzz battery
+# (-L rpc, whose malformed-frame corpus is the decoders' memory-safety
+# oracle), and the engine/sync tests, which
+# exercise the slab allocators' recycling paths hardest. The sanitizer
+# pass also replays scheduler_equiv.sh against the asan build: the typed
+# RPC layer must keep all 15 figures byte-identical under instrumentation
+# too (same simulation, same bytes).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -112,6 +117,9 @@ if [[ "$run_default" == 1 ]]; then
   echo "== elastic lane: ctest -L elastic (release) =="
   ctest --preset default --no-tests=error -L elastic -j "$(nproc)"
 
+  echo "== rpc lane: ctest -L rpc (release) =="
+  ctest --preset default --no-tests=error -L rpc -j "$(nproc)"
+
   echo "== elastic smoke: JETS_ELASTIC=1 fig07 twice, byte-identical, zero jobs lost =="
   JETS_ELASTIC=1 ./build/bench/fig07_cluster_util > "$tmpdir/elastic_a.txt"
   JETS_ELASTIC=1 ./build/bench/fig07_cluster_util > "$tmpdir/elastic_b.txt"
@@ -152,8 +160,12 @@ if [[ "$run_asan" == 1 ]]; then
   ctest --preset asan-ubsan --no-tests=error -L recovery -j "$(nproc)"
   ctest --preset asan-ubsan --no-tests=error -L staging -j "$(nproc)"
   ctest --preset asan-ubsan --no-tests=error -L elastic -j "$(nproc)"
+  ctest --preset asan-ubsan --no-tests=error -L rpc -j "$(nproc)"
   ctest --preset asan-ubsan --no-tests=error -j "$(nproc)" \
     -R '^(Engine|Channel|Semaphore|Gate|Time|Rng)\.'
+
+  echo "== scheduler equivalence vs golden manifest (asan build) =="
+  ./scripts/scheduler_equiv.sh build-asan
 fi
 
 echo "check.sh: OK"

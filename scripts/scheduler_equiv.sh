@@ -3,9 +3,11 @@
 #
 # Runs all 15 figure benches at their default (committed) scales and
 # compares each one's stdout hash against bench/golden_manifest.txt. Any
-# refactor of the Service tables, the net layer, or the engine must leave
-# every figure byte-identical; the first differing figure fails the run
-# and is named, with a diff-friendly copy of its output left in $WORKDIR.
+# refactor of the Service tables, the net layer (including the typed
+# rpc::Channel request/response layer the service, worker, and PMI paths
+# now ride), or the engine must leave every figure byte-identical; the
+# first differing figure fails the run and is named, with a diff-friendly
+# copy of its output left in $WORKDIR.
 #
 # Usage: scheduler_equiv.sh [build-dir]        (default: build)
 # Env:   JETS_EQUIV_WORKDIR  where to put fresh outputs

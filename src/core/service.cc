@@ -77,6 +77,16 @@ void Service::init_metrics() {
   m_stage_bytes_saved_ = reg("jets.service.staging.bytes_saved");
   m_drain_requeues_ = reg("jets.service.elastic.drain_requeues");
   m_gate_refusals_ = reg("jets.service.elastic.gate_refusals");
+  rpc_metrics_.calls = reg("jets.rpc.calls");
+  rpc_metrics_.notifies = reg("jets.rpc.notifies");
+  rpc_metrics_.completed = reg("jets.rpc.completed");
+  rpc_metrics_.timeouts = reg("jets.rpc.timeouts");
+  rpc_metrics_.peer_closed = reg("jets.rpc.peer_closed");
+  rpc_metrics_.cancelled = reg("jets.rpc.cancelled");
+  rpc_metrics_.orphans = reg("jets.rpc.orphans");
+  rpc_metrics_.decode_errors = reg("jets.rpc.decode_errors");
+  rpc_metrics_.unknown_tags = reg("jets.rpc.unknown_tags");
+  rpc_metrics_.inflight = &m.gauge("jets.rpc.inflight");
   for (std::size_t i = 0; i < kFailureReasonCount; ++i) {
     m_failures_[i] = reg((std::string("jets.service.failures.") +
                           to_string(static_cast<FailureReason>(i)))
@@ -201,8 +211,8 @@ void Service::deadline_expired(JobId id) {
       // hang forever in kRunning.
       for (WorkerId wid : job.assigned) {
         Worker* w = workers_.find(wid);
-        if (w && w->connected && w->sock) {
-          w->sock->send(net::Message(kMsgKill, {w->task_id}));
+        if (w && w->connected && w->sock && w->rpc) {
+          (void)w->rpc->notify(net::rpc::KillReq{w->task_id});
         }
       }
       job_finished(id, /*status=*/124, FailureReason::kJobDeadline);
@@ -258,15 +268,25 @@ sim::Task<void> Service::stage_to_workers(const std::string& path) {
   // serialization sequence), hence the sort by seq.
   std::vector<std::pair<std::uint64_t, WorkerId>> targets;
   workers_.for_each([&](WorkerId wid, const Worker& w) {
-    if (w.connected && w.sock) targets.emplace_back(w.seq, wid);
+    if (w.connected && w.sock && w.rpc) targets.emplace_back(w.seq, wid);
   });
   std::sort(targets.begin(), targets.end());
   for (const auto& [seq, wid] : targets) {
     Worker& w = workers_.at(wid);
     ++staging_.remaining(slot);
-    w.pending_stages.push_back(digest);
-    net::Message m(kMsgStageIn, {path}, *size);
-    w.sock->send(std::move(m));
+    net::rpc::StageReq req;
+    req.header.path = path;
+    req.header.bytes = *size;
+    req.legacy = true;
+    req.payload = *size;
+    const auto sent = w.rpc->call_cb<net::rpc::StageReq>(
+        req, [this, node = w.node, digest](auto r) {
+          stage_call_settled(node, digest, std::move(r));
+        });
+    if (!sent.ok()) {  // raced a close: write the pair off immediately
+      stage_call_settled(w.node, digest,
+                         net::rpc::Unexpected{net::rpc::RpcError::kPeerClosed});
+    }
   }
   if (staging_.remaining(slot) == 0) {
     staging_.gate(slot).open();
@@ -370,7 +390,7 @@ sim::Task<void> Service::stage_job_inputs(
         residency_.mark_pending(node, digest);
       }
       Worker* w = workers_.find(rep);
-      if (!w || !w->connected || !w->sock) {
+      if (!w || !w->connected || !w->sock || !w->rpc) {
         // The representative died while we were reading: write the pair
         // off — the attempt is about to fail through the worker-lost path.
         residency_.clear_pending(node, digest);
@@ -378,9 +398,17 @@ sim::Task<void> Service::stage_job_inputs(
       }
       ++staging_.remaining(slot);
       staging_.gate(slot).close();
-      w->pending_stages.push_back(digest);
-      w->sock->send(net::Message(kMsgStageIn, net::encode_stage_args(h),
-                                 payload));
+      net::rpc::StageReq req;
+      req.header = h;
+      req.payload = payload;
+      const auto sent = w->rpc->call_cb<net::rpc::StageReq>(
+          req, [this, node = node, digest](auto r) {
+            stage_call_settled(node, digest, std::move(r));
+          });
+      if (!sent.ok()) {  // raced a close: write the pair off immediately
+        stage_call_settled(node, digest,
+                           net::rpc::Unexpected{net::rpc::RpcError::kPeerClosed});
+      }
       waits.push_back(slot);
     }
     if (job.rec.status != JobStatus::kRunning || job.rec.attempts != attempt) {
@@ -389,7 +417,8 @@ sim::Task<void> Service::stage_job_inputs(
   }
   // Await every touched slot once (sorted + dedup'd for a deterministic
   // wait order). Gates open when their remaining count drains — by acks,
-  // or by write-offs when a stage target dies (abandon_worker_stages); a
+  // or by write-offs when a stage target dies (the channel drain settles
+  // its StageReq calls with kPeerClosed/kCancelled); a
   // dead *claimed* worker also fails the attempt, which the status check
   // below and the caller both observe.
   std::sort(waits.begin(), waits.end());
@@ -403,62 +432,76 @@ sim::Task<void> Service::stage_job_inputs(
   if (obs::Tracer* tr = tracer()) tr->end_and_clear(job.span_stage);
 }
 
-void Service::handle_staged_ack(WorkerId wid, const net::Message& m) {
-  if (m.args.empty()) return;
+void Service::handle_staged_ack(WorkerId wid, const net::rpc::StageAck& ack) {
   Worker* w = workers_.find(wid);
-  StageDigest digest = 0;
-  if (m.args.size() >= 2 && m.args[1].starts_with("d=")) {
-    digest = os::cas_digest_from_hex(
-        std::string_view(m.args[1]).substr(2));
-    if (digest == 0) return;  // malformed
+  StageDigest digest = ack.digest;
+  if (digest != 0) {
     if (w) {
       // The blob is on the node now — even a late ack from an evicted
       // worker makes that true, so commit unconditionally.
       residency_.commit(w->node, digest);
       // Evictions the worker's CAS performed to make room travel on the
       // ack; apply them so the planner never trusts a stale peer.
-      for (std::size_t i = 2; i < m.args.size(); ++i) {
-        std::string_view arg(m.args[i]);
-        if (!arg.starts_with("e=")) continue;
-        const os::CasDigest evicted = os::cas_digest_from_hex(arg.substr(2));
-        if (evicted != 0) {
-          residency_.remove(w->node, evicted);
-          m_stage_evictions_->inc();
-        }
+      for (const os::CasDigest evicted : ack.evictions) {
+        residency_.remove(w->node, evicted);
+        m_stage_evictions_->inc();
       }
     }
   } else {
     // Legacy bare-path ack (stage_to_workers broadcast).
-    const auto it = blob_info_.find(m.args[0]);
+    const auto it = blob_info_.find(ack.path);
     if (it == blob_info_.end()) return;
     digest = it->second.first;
   }
+  // A tracked worker's decrement belongs to its StageReq call (which
+  // completed, or was written off at eviction/EOF — then this late ack
+  // must not double-decrement). Untracked sockets keep the historical
+  // unconditional decrement.
+  if (w) return;
   const StageTable::Slot slot = staging_.find(digest);
   if (slot == StageTable::kNone) return;
-  if (w) {
-    // Only decrement for an ack we are still waiting on: a worker evicted
-    // mid-stage was written off already (satellite S1) and may ack late.
-    auto& pend = w->pending_stages;
-    const auto pit = std::find(pend.begin(), pend.end(), digest);
-    if (pit == pend.end()) return;
-    pend.erase(pit);
-  }
   std::uint32_t& rem = staging_.remaining(slot);
   if (rem > 0 && --rem == 0) staging_.gate(slot).open();
 }
 
-void Service::abandon_worker_stages(Worker& w) {
-  for (const StageDigest digest : w.pending_stages) {
-    // The ack will never come: write the pair off so no gate hangs and the
-    // planner forgets the in-flight transfer (a later job re-stages).
-    residency_.clear_pending(w.node, digest);
+void Service::stage_call_settled(
+    os::NodeId node, StageDigest digest,
+    net::rpc::Expected<net::rpc::StageAck, net::rpc::RpcError> r) {
+  if (r.ok()) {
+    const net::rpc::StageAck& ack = r.value();
+    if (ack.digest != 0) {
+      // The blob is on the node now; commit before opening the gate so
+      // the planner can offer this node as a peer immediately.
+      residency_.commit(node, ack.digest);
+      for (const os::CasDigest evicted : ack.evictions) {
+        residency_.remove(node, evicted);
+        m_stage_evictions_->inc();
+      }
+    }
+  } else {
+    // The ack will never come (EOF drain, eviction write-off): forget the
+    // in-flight transfer so a later job re-stages (satellite S1).
+    residency_.clear_pending(node, digest);
     m_stage_acks_lost_->inc();
-    const StageTable::Slot slot = staging_.find(digest);
-    if (slot == StageTable::kNone) continue;
-    std::uint32_t& rem = staging_.remaining(slot);
-    if (rem > 0 && --rem == 0) staging_.gate(slot).open();
   }
-  w.pending_stages.clear();
+  const StageTable::Slot slot = staging_.find(digest);
+  if (slot == StageTable::kNone) return;
+  std::uint32_t& rem = staging_.remaining(slot);
+  if (rem > 0 && --rem == 0) staging_.gate(slot).open();
+}
+
+void Service::on_task_done(const net::rpc::TaskDone& done) {
+  const auto tit = task_to_job_.find(done.task_id);
+  if (tit == task_to_job_.end()) return;
+  const JobId jid = tit->second;
+  task_to_job_.erase(tit);
+  // The worker's exit-reason token ("app"/"watchdog"/"killed", see
+  // worker.hh) all classify as the application's own failure: the
+  // watchdog kill (124) means the *app* hung, and service-requested
+  // kills only reach here for tasks the service no longer tracks.
+  job_finished(jid, done.status,
+               done.status == 0 ? FailureReason::kNone
+                                : FailureReason::kAppExit);
 }
 
 void Service::check_all_done() {
@@ -482,117 +525,128 @@ sim::Task<void> Service::accept_loop() {
 
 sim::Task<void> Service::worker_handler(net::SocketPtr sock) {
   WorkerId wid = 0;
-  for (;;) {
-    auto m = co_await sock->recv();
-    if (!m) break;
+  net::rpc::Channel::Config cfg;
+  cfg.metrics = &rpc_metrics_;
+  // The channel must not drain pending calls at EOF on its own: the
+  // disconnect bookkeeping below writes them off at the exact point the
+  // pre-RPC code did, keeping the event schedule byte-identical.
+  cfg.manual_drain = true;
+  net::rpc::Channel ch(machine_->engine(), sock, cfg);
+  ch.set_on_message([this, &wid] {
     if (wid != 0) workers_.at(wid).last_heard = machine_->engine().now();
-    if (m->tag == kMsgRegister) {
-      const auto node = static_cast<os::NodeId>(std::stoul(m->args.at(0)));
-      if (node_blacklisted(node)) {
+  });
+  ch.on<net::rpc::RegisterReq>([this, &wid, &ch,
+                                &sock](net::rpc::RegisterReq&& reg) {
+    if (node_blacklisted(reg.node)) {
+      m_blacklist_rejections_->inc();
+      sock->close();
+      ch.stop();  // refuse the node outright
+      return;
+    }
+    // Heartbeat reconciliation after a restore: while ghost workers are
+    // awaiting their pilots, a redialing pilot (its reg carries the task
+    // ids it still has in flight, see worker.cc) reclaims its
+    // checkpointed slot instead of registering as new. The awaiting_
+    // guard keeps this off the never-restored hot path entirely.
+    if (awaiting_ > 0) {
+      wid = adopt_ghost(reg.node, sock, reg.inventory);
+      if (wid != 0) {
+        workers_.at(wid).rpc = &ch;
+        return;
+      }
+    }
+    Worker w;
+    w.seq = next_worker_seq_++;
+    w.node = reg.node;
+    w.sock = sock;
+    w.connected = true;
+    w.last_heard = machine_->engine().now();
+    wid = workers_.insert(std::move(w));
+    workers_.at(wid).id = wid;
+    workers_.at(wid).rpc = &ch;
+    ++connected_;
+    m_workers_connected_->set(static_cast<std::int64_t>(connected_));
+    peak_capacity_ = std::max(peak_capacity_, connected_);
+  });
+  ch.on<net::rpc::PingNote>([this, &wid](net::rpc::PingNote&&) {
+    if (wid != 0) m_heartbeats_->inc();  // last_heard refreshed above
+  });
+  ch.on<net::rpc::ReadyNote>([this, &wid](net::rpc::ReadyNote&&) {
+    if (wid == 0) return;
+    Worker& w = workers_.at(wid);
+    w.liveness_timer.cancel();
+    if (w.busy && w.job != 0) {
+      // "ready" while the service still counts this worker's sequential
+      // task as running means the done never arrived — it was sent into a
+      // service outage and dropped. Fail the attempt (blameless:
+      // kServiceRestart) so the job retries instead of leaking in
+      // kRunning forever. Unreachable in normal runs: done always
+      // precedes ready and settles or requeues the job first. MPI gangs
+      // are excluded (a proxy's exit legitimately sends ready while the
+      // gang job still runs; mpiexec owns that outcome) — their
+      // job.task_id is always empty.
+      Job* j = jobs_.find(w.job);
+      if (j && j->rec.status == JobStatus::kRunning &&
+          !j->task_id.empty() && j->task_id == w.task_id) {
+        job_finished(w.job, /*status=*/1, FailureReason::kServiceRestart);
+      }
+    }
+    w.busy = false;
+    w.job = 0;
+    w.task_id.clear();
+    if (w.evicted) {
+      // A disregarded worker came back (hang released, stall drained).
+      // Unless its node has been blacklisted, give it another chance.
+      if (node_blacklisted(w.node)) {
         m_blacklist_rejections_->inc();
-        sock->close();
-        break;  // refuse the node outright
+        // The refused worker now waits silently for work, so if the ban
+        // has a parole date, check back then and re-offer it ourselves.
+        const auto ht = node_health_.find(w.node);
+        if (ht != node_health_.end() && ht->second.banned &&
+            ht->second.banned_until >= 0) {
+          // Tracked in the worker so the destructor (and a repeat refusal)
+          // can disarm it — an untracked `this` capture here was the one
+          // timer a mid-run service teardown could not cancel.
+          w.reoffer_timer.cancel();
+          w.reoffer_timer = machine_->engine().call_at(
+              ht->second.banned_until, [this, wid] { reoffer_worker(wid); });
+        }
+        return;
       }
-      // Heartbeat reconciliation after a restore: while ghost workers are
-      // awaiting their pilots, a redialing pilot (its reg carries the task
-      // ids it still has in flight, see worker.cc) reclaims its
-      // checkpointed slot instead of registering as new. The awaiting_
-      // guard keeps this off the never-restored hot path entirely.
-      if (awaiting_ > 0) {
-        const std::vector<std::string> inventory(m->args.begin() + 1,
-                                                 m->args.end());
-        wid = adopt_ghost(node, sock, inventory);
-        if (wid != 0) continue;
-      }
-      Worker w;
-      w.seq = next_worker_seq_++;
-      w.node = node;
-      w.sock = sock;
+      w.evicted = false;
+      --evicted_live_;
       w.connected = true;
-      w.last_heard = machine_->engine().now();
-      wid = workers_.insert(std::move(w));
-      workers_.at(wid).id = wid;
       ++connected_;
       m_workers_connected_->set(static_cast<std::int64_t>(connected_));
       peak_capacity_ = std::max(peak_capacity_, connected_);
-    } else if (m->tag == kMsgPing && wid != 0) {
-      m_heartbeats_->inc();  // last_heard already refreshed above
-    } else if (m->tag == kMsgReady && wid != 0) {
-      Worker& w = workers_.at(wid);
-      w.liveness_timer.cancel();
-      if (w.busy && w.job != 0) {
-        // "ready" while the service still counts this worker's sequential
-        // task as running means the done never arrived — it was sent into a
-        // service outage and dropped. Fail the attempt (blameless:
-        // kServiceRestart) so the job retries instead of leaking in
-        // kRunning forever. Unreachable in normal runs: done always
-        // precedes ready and settles or requeues the job first. MPI gangs
-        // are excluded (a proxy's exit legitimately sends ready while the
-        // gang job still runs; mpiexec owns that outcome) — their
-        // job.task_id is always empty.
-        Job* j = jobs_.find(w.job);
-        if (j && j->rec.status == JobStatus::kRunning &&
-            !j->task_id.empty() && j->task_id == w.task_id) {
-          job_finished(w.job, /*status=*/1, FailureReason::kServiceRestart);
-        }
-      }
-      w.busy = false;
-      w.job = 0;
-      w.task_id.clear();
-      if (w.evicted) {
-        // A disregarded worker came back (hang released, stall drained).
-        // Unless its node has been blacklisted, give it another chance.
-        if (node_blacklisted(w.node)) {
-          m_blacklist_rejections_->inc();
-          // The refused worker now waits silently for work, so if the ban
-          // has a parole date, check back then and re-offer it ourselves.
-          const auto ht = node_health_.find(w.node);
-          if (ht != node_health_.end() && ht->second.banned &&
-              ht->second.banned_until >= 0) {
-            // Tracked in the worker so the destructor (and a repeat refusal)
-            // can disarm it — an untracked `this` capture here was the one
-            // timer a mid-run service teardown could not cancel.
-            w.reoffer_timer.cancel();
-            w.reoffer_timer = machine_->engine().call_at(
-                ht->second.banned_until, [this, wid] { reoffer_worker(wid); });
-          }
-          continue;
-        }
-        w.evicted = false;
-        --evicted_live_;
-        w.connected = true;
-        ++connected_;
-        m_workers_connected_->set(static_cast<std::int64_t>(connected_));
-        peak_capacity_ = std::max(peak_capacity_, connected_);
-        m_reenlisted_->inc();
-      }
-      ready_.push_back(wid, w.node);
-      kick();
-    } else if (m->tag == kMsgStaged) {
-      handle_staged_ack(wid, *m);
-    } else if (m->tag == kMsgDone && wid != 0) {
-      const std::string& task_id = m->args.at(0);
-      const int status = std::stoi(m->args.at(1));
-      auto tit = task_to_job_.find(task_id);
-      if (tit != task_to_job_.end()) {
-        const JobId jid = tit->second;
-        task_to_job_.erase(tit);
-        // The worker's exit-reason token ("app"/"watchdog"/"killed", see
-        // worker.hh) all classify as the application's own failure: the
-        // watchdog kill (124) means the *app* hung, and service-requested
-        // kills only reach here for tasks the service no longer tracks.
-        job_finished(jid, status,
-                     status == 0 ? FailureReason::kNone
-                                 : FailureReason::kAppExit);
-      }
-      // Proxy exits of MPI jobs land here too; mpiexec owns their outcome.
+      m_reenlisted_->inc();
     }
-  }
+    ready_.push_back(wid, w.node);
+    kick();
+  });
+  // Acks whose StageReq call already settled (written off at eviction or
+  // sent on an untracked socket) fall through to this unmatched handler.
+  ch.on<net::rpc::StageAck>([this, &wid](net::rpc::StageAck&& ack) {
+    handle_staged_ack(wid, ack);
+  });
+  ch.on<net::rpc::TaskDone>([this, &wid](net::rpc::TaskDone&& done) {
+    // Unmatched dones: MPI proxy exits (mpiexec owns their outcome — the
+    // on_task_done lookup misses) and tasks the service no longer tracks.
+    if (wid != 0) on_task_done(done);
+  });
+  co_await ch.serve();
   // Worker gone (allocation expired, node fault, kill): disregard it.
   if (wid != 0) {
     Worker* w = workers_.find(wid);
     if (!w) co_return;
     w->liveness_timer.cancel();
+    // If the run call is still pending, the fail_all() drain below counts
+    // its kPeerClosed; a lost task with no tracked call (MPI gang member,
+    // restored ghost) is counted here so every lost run shows up once in
+    // jets.rpc.peer_closed.
+    const bool run_call_pending =
+        w->rpc && !w->task_id.empty() &&
+        w->rpc->has_pending(net::rpc::TaskDone::kTag, w->task_id);
     if (w->connected) {
       w->connected = false;
       --connected_;
@@ -603,7 +657,10 @@ sim::Task<void> Service::worker_handler(net::SocketPtr sock) {
         // other workers ("minimizing their impact", §5 feature 3).
         const JobId jid = w->job;
         Job* j = jobs_.find(jid);
-        if (j) job_finished(jid, /*status=*/1, worker_lost_reason(*j));
+        if (j) {
+          if (!run_call_pending) rpc_metrics_.peer_closed->inc();
+          job_finished(jid, /*status=*/1, worker_lost_reason(*j));
+        }
       }
     }
     // A worker already evicted for liveness needs no further bookkeeping;
@@ -611,9 +668,13 @@ sim::Task<void> Service::worker_handler(net::SocketPtr sock) {
     // is recycled — every outstanding handle to it fails the generation
     // check from here on (timers, reoffer callbacks, stale claims).
     if (w->evicted) --evicted_live_;
-    // Unacked stage-ins die with the connection: write them off before the
-    // slot is recycled, or their completion gates would hang forever.
-    abandon_worker_stages(*w);
+    // Unacked calls die with the connection: drain them (stage write-offs
+    // land in stage_call_settled, the run call's error is counted) before
+    // the slot is recycled, or their completion gates would hang forever.
+    if (w->rpc) {
+      w->rpc->fail_all(net::rpc::RpcError::kPeerClosed);
+      w->rpc = nullptr;
+    }
     workers_.erase(wid);
     // This slot is gone for good — a queued wide job may now be doomed.
     reap_unsatisfiable();
@@ -795,14 +856,32 @@ sim::Task<void> Service::place_job(JobId id) {
     // Re-resolve the handle after the suspension: the worker's slot may
     // have been recycled if it EOF'd during the dispatch delay.
     Worker* w = workers_.find(claimed.front());
-    if (!w || !w->connected || w->evicted) {
+    if (!w || !w->connected || w->evicted || !w->rpc ||
+        w->rpc->peer_closed()) {
       // The claimed worker vanished while the run message was in flight:
       // fail the attempt now rather than dropping the message and waiting
-      // out a job deadline that may never fire.
+      // out a job deadline that may never fire. This is the typed
+      // claim-to-flush disconnect path: it counts as a peer-closed call.
+      rpc_metrics_.peer_closed->inc();
       job_finished(id, /*status=*/1, worker_lost_reason(job));
       co_return;
     }
-    w->sock->send(make_run_message(tid, spec.argv, spec.vars));
+    net::rpc::TaskRun run;
+    run.task_id = tid;
+    run.argv = spec.argv;
+    run.vars = spec.vars;
+    const auto sent = w->rpc->call_cb<net::rpc::TaskRun>(
+        run,
+        [this](net::rpc::Expected<net::rpc::TaskDone, net::rpc::RpcError> r) {
+          // Errors (kPeerClosed drain) need no action here: the disconnect
+          // bookkeeping fails the attempt at its historical point.
+          if (r.ok()) on_task_done(r.value());
+        });
+    if (!sent.ok()) {
+      // call_cb counted the refusal; just fail the attempt.
+      job_finished(id, /*status=*/1, worker_lost_reason(job));
+      co_return;
+    }
     if (obs::Tracer* tr = tracer()) {
       tr->end_and_clear(job.span_group);
       job.span_run = tr->begin("job.run", obs::track_job(id),
@@ -837,15 +916,21 @@ sim::Task<void> Service::place_job(JobId id) {
       }
       // Re-resolve after the suspension (slot may have been recycled).
       Worker* w = workers_.find(wid);
-      if (!w || !w->connected || w->evicted) {
+      if (!w || !w->connected || w->evicted || !w->rpc) {
         // A gang member vanished mid-dispatch: fail the attempt and free
         // the rest of the gang now — mpiexec would otherwise wait forever
         // for a proxy that was never started.
+        rpc_metrics_.peer_closed->inc();
         job_finished(id, /*status=*/1, worker_lost_reason(job));
         release_undispatched(claimed, k);
         co_return;
       }
-      w->sock->send(make_run_message(tid, cmds[k], {}));
+      // One-way: a proxy's exit is not the gang's outcome (mpiexec owns
+      // that), so gang runs are notifies, not calls.
+      net::rpc::TaskRun run;
+      run.task_id = tid;
+      run.argv = cmds[k];
+      (void)w->rpc->notify(run);
     }
     if (obs::Tracer* tr = tracer()) {
       tr->end_and_clear(job.span_group);
@@ -888,8 +973,8 @@ void Service::job_finished(JobId id, int status, FailureReason reason) {
     // anyway, so the old map-based path skipped them too).
     for (WorkerId wid : job.assigned) {
       Worker* w = workers_.find(wid);
-      if (w && w->connected && w->busy && w->job == id && w->sock) {
-        w->sock->send(net::Message(kMsgKill, {w->task_id}));
+      if (w && w->connected && w->busy && w->job == id && w->sock && w->rpc) {
+        (void)w->rpc->notify(net::rpc::KillReq{w->task_id});
       }
     }
   }
@@ -1271,9 +1356,14 @@ void Service::evict_worker(WorkerId wid) {
   ready_.erase(wid, w.node);
   // A disregarded worker's acks cannot be trusted to arrive: write off its
   // unacked stage-ins now so no stage gate waits on a hung pilot. If it
-  // acks late anyway, residency is still committed (the data did land) but
-  // the remaining-count guard skips the double decrement.
-  abandon_worker_stages(w);
+  // acks late anyway, residency is still committed (the data did land;
+  // the ack falls through to the unmatched handler) but the settled call
+  // skips the double decrement. The run call, if any, stays pending: a
+  // late done must still settle the job exactly as it always did.
+  if (w.rpc) {
+    w.rpc->fail_responses(net::rpc::StageAck::kTag,
+                          net::rpc::RpcError::kCancelled);
+  }
   if (w.busy && w.job != 0) {
     // The in-flight attempt cannot be trusted to finish; fail it so the
     // job retries on live workers ("minimizing their impact", §5).

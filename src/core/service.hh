@@ -64,6 +64,7 @@
 #include "core/staging.hh"
 #include "core/table.hh"
 #include "core/worker.hh"
+#include "net/rpc.hh"
 #include "net/socket.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
@@ -684,10 +685,13 @@ class Service {
     /// Armed at a ban's parole date (previously untracked — a service
     /// destroyed mid-run would leave it firing into freed memory).
     sim::TimerHandle reoffer_timer;
-    /// Digests of stage-ins sent to this worker and not yet acked. On EOF
-    /// or liveness eviction these acks will never come — the entries are
-    /// written off via abandon_worker_stages so no stage gate hangs.
-    std::vector<StageDigest> pending_stages;
+    /// The connection's RPC channel, owned by its worker_handler frame
+    /// (valid exactly while that frame is alive; the handler nulls it in
+    /// its EOF block before the slot is recycled). Run dispatches and
+    /// stage-ins are issued as calls on it; on EOF or liveness eviction
+    /// the channel's pending calls are failed with kPeerClosed/kCancelled,
+    /// which replaces the old pending_stages write-off list.
+    net::rpc::Channel* rpc = nullptr;
   };
 
   struct Job {
@@ -840,13 +844,21 @@ class Service {
   /// after the co_await, exactly like the dispatch fan-out.
   sim::Task<void> stage_job_inputs(JobId id, int attempt,
                                    const std::vector<WorkerId>& claimed);
-  /// Digest-header "staged" ack bookkeeping: commits residency, applies
-  /// the ack's eviction reports, decrements the slot's remaining count.
-  void handle_staged_ack(WorkerId wid, const net::Message& m);
-  /// Writes off every unacked stage-in of a dying worker (satellite S1):
-  /// decrements slot counts (opening gates at zero), clears pending
-  /// residency. Must run before the worker's slot is recycled.
-  void abandon_worker_stages(Worker& w);
+  /// Unmatched "staged" ack bookkeeping (acks whose StageReq call was
+  /// already written off, or acks from never-registered sockets): commits
+  /// residency for tracked workers; decrements the slot count only for
+  /// untracked ones (a tracked worker's decrement is owned by its call).
+  void handle_staged_ack(WorkerId wid, const net::rpc::StageAck& ack);
+  /// Completion of one StageReq call: on success commits residency and
+  /// applies the ack's eviction reports; on error (peer closed, evicted)
+  /// writes the in-flight transfer off so a later job re-stages. Either
+  /// way decrements the slot's remaining count, opening the gate at zero.
+  void stage_call_settled(
+      os::NodeId node, StageDigest digest,
+      net::rpc::Expected<net::rpc::StageAck, net::rpc::RpcError> r);
+  /// A sequential task's "done" (matched run-call completion, or a stray
+  /// done for a task the service no longer tracks).
+  void on_task_done(const net::rpc::TaskDone& done);
 
   os::Machine* machine_;
   const os::AppRegistry* apps_;
@@ -940,6 +952,9 @@ class Service {
   obs::Counter* m_drain_requeues_ = nullptr;
   obs::Counter* m_gate_refusals_ = nullptr;
   std::array<obs::Counter*, kFailureReasonCount> m_failures_{};
+  /// Shared instrument block for every worker connection's rpc::Channel;
+  /// its counters register through reg() below so they checkpoint too.
+  net::rpc::ChannelMetrics rpc_metrics_;
   /// Every counter above by registry name, in registration order — the
   /// checkpoint codec walks this to serialize counter values and restore
   /// assigns through it, so the two sides can never drift apart.

@@ -2,8 +2,9 @@
 
 #include <map>
 #include <memory>
-#include <set>
+#include <utility>
 
+#include "net/rpc.hh"
 #include "net/staging.hh"
 #include "obs/tracer.hh"
 #include "os/cas.hh"
@@ -13,23 +14,21 @@ namespace jets::core {
 net::Message make_run_message(const std::string& task_id,
                               const std::vector<std::string>& argv,
                               const std::map<std::string, std::string>& vars) {
-  std::vector<std::string> args{task_id, std::to_string(argv.size())};
-  for (const auto& a : argv) args.push_back(a);
-  for (const auto& [k, v] : vars) args.push_back(k + "=" + v);
-  return net::Message(kMsgRun, std::move(args));
+  net::rpc::TaskRun run;
+  run.task_id = task_id;
+  run.argv = argv;
+  run.vars = vars;
+  return run.encode();
 }
 
 RunRequest parse_run_message(const net::Message& m) {
   RunRequest r;
-  std::size_t i = 0;
-  r.task_id = m.args.at(i++);
-  const std::size_t nargv = std::stoul(m.args.at(i++));
-  for (std::size_t k = 0; k < nargv; ++k) r.argv.push_back(m.args.at(i++));
-  for (; i < m.args.size(); ++i) {
-    const std::string& kv = m.args[i];
-    const auto eq = kv.find('=');
-    if (eq != std::string::npos) r.vars[kv.substr(0, eq)] = kv.substr(eq + 1);
-  }
+  auto decoded = net::rpc::TaskRun::decode(m);
+  if (!decoded.ok()) return r;  // malformed: empty request (never on-wire)
+  net::rpc::TaskRun& run = decoded.value();
+  r.task_id = std::move(run.task_id);
+  r.argv = std::move(run.argv);
+  r.vars = std::move(run.vars);
   return r;
 }
 
@@ -63,9 +62,11 @@ struct WorkerState {
 };
 
 /// Wraps one task execution: resolves and runs the command, then reports
-/// done/ready — unless the task was already reaped by a "kill".
+/// done/ready — unless the task was already reaped by a "kill". Reports go
+/// through state->sock (not a channel): the wrapper can outlive the
+/// connection it was dispatched on, and its done must follow the redial.
 sim::Task<void> task_wrapper(os::Machine* machine, const os::AppRegistry* apps,
-                             os::NodeId node, RunRequest req,
+                             os::NodeId node, net::rpc::TaskRun req,
                              std::shared_ptr<WorkerState> state) {
   os::Env env;
   env.machine = machine;
@@ -91,9 +92,10 @@ sim::Task<void> task_wrapper(os::Machine* machine, const os::AppRegistry* apps,
   // reported this task; avoid a duplicate done/ready pair.
   if (state->outstanding.erase(req.task_id) == 0) co_return;
   state->track_work();
-  state->sock->send(net::Message(
-      kMsgDone, {req.task_id, std::to_string(status), "app"}));
-  state->sock->send(net::Message(kMsgReady));
+  net::rpc::post(*state->sock,
+                 net::rpc::TaskDone{req.task_id, status,
+                                    net::rpc::TaskDone::Reason::kApp});
+  net::rpc::post(*state->sock, net::rpc::ReadyNote{});
 }
 
 /// While the worker has tasks outstanding, pings the service every
@@ -112,7 +114,7 @@ sim::Task<void> heartbeat_loop(std::shared_ptr<WorkerState> state,
       co_await state->ctl->gate().wait();
       continue;
     }
-    state->sock->send(net::Message(kMsgPing));
+    net::rpc::post(*state->sock, net::rpc::PingNote{});
     co_await sim::delay(interval);
   }
 }
@@ -150,8 +152,8 @@ sim::Task<void> worker_main(const os::AppRegistry* apps, WorkerConfig config,
   } catch (const net::ConnectError&) {
     co_return;  // service is gone; pilot exits quietly
   }
-  state->sock->send(net::Message(kMsgRegister, {std::to_string(env.node)}));
-  state->sock->send(net::Message(kMsgReady));
+  net::rpc::post(*state->sock, net::rpc::RegisterReq{env.node, {}});
+  net::rpc::post(*state->sock, net::rpc::ReadyNote{});
 
   os::Machine::Pid hb_pid = 0;
   if (config.heartbeat_interval > 0) {
@@ -163,52 +165,18 @@ sim::Task<void> worker_main(const os::AppRegistry* apps, WorkerConfig config,
                           std::move(hb_opts));
   }
 
+  // One channel per connection: a redial gets a fresh one on the new
+  // socket (in-flight task wrappers keep reporting via state->sock, so
+  // their dones follow the reconnect automatically).
   for (;;) {
-    auto m = co_await state->sock->recv();
-    // A hung pilot's receive loop freezes *here*: bytes keep landing in
-    // the socket inbox (the connection stays open — the service sees
-    // silence, not EOF) but nothing is handled until release.
-    if (state->hung()) co_await state->ctl->gate().wait();
-    if (!m) {
-      // Service connection EOF'd. Without redial the pilot exits here (the
-      // pre-recovery behavior); with it, retry the dial under linear
-      // backoff — the service may be down for a restore — and re-register
-      // carrying the outstanding-task inventory so the restored service
-      // can reconcile this pilot with its checkpointed ghost.
-      bool redialed = false;
-      for (int attempt = 1; config.reconnect_backoff > 0 &&
-                            attempt <= config.reconnect_attempts;
-           ++attempt) {
-        co_await sim::delay(attempt * config.reconnect_backoff);
-        if (state->hung()) co_await state->ctl->gate().wait();
-        try {
-          state->sock =
-              co_await machine.network().connect(env.node, config.service);
-          redialed = true;
-          break;
-        } catch (const net::ConnectError&) {
-          // nobody listening yet; keep backing off
-        }
-      }
-      if (!redialed) break;  // gave up: pilot exits as before
-      // The inventory (map order = sorted task ids, deterministic). Tasks
-      // that finished during the outage are simply absent — the service's
-      // reconciliation treats a checkpointed-but-unannounced task as a
-      // lost done and fails that attempt blamelessly.
-      std::vector<std::string> args{std::to_string(env.node)};
-      for (const auto& [tid, pid] : state->outstanding) args.push_back(tid);
-      state->sock->send(net::Message(kMsgRegister, std::move(args)));
-      // Only an idle pilot volunteers for work; a busy one re-enters the
-      // pool through its normal done/ready cycle. In-flight task wrappers
-      // report through state->sock, so their dones route to the new
-      // connection automatically.
-      if (state->outstanding.empty()) {
-        state->sock->send(net::Message(kMsgReady));
-      }
-      continue;
-    }
-    if (m->tag == kMsgRun) {
-      RunRequest req = parse_run_message(*m);
+    net::rpc::Channel chan(machine.engine(), state->sock);
+    // A hung pilot's receive loop freezes at the dispatch point: bytes
+    // keep landing in the socket inbox (the connection stays open — the
+    // service sees silence, not EOF) but nothing is handled until release.
+    chan.set_hang_gate([state]() -> sim::Gate* {
+      return state->hung() ? &state->ctl->gate() : nullptr;
+    });
+    chan.on<net::rpc::TaskRun>([&, state](net::rpc::TaskRun&& req) {
       // The per-task wrapper cost plus binary load (node-local if staged).
       os::ExecOptions opts;
       opts.extra_startup = config.task_overhead;
@@ -237,68 +205,115 @@ sim::Task<void> worker_main(const os::AppRegistry* apps, WorkerConfig config,
               state->outstanding.erase(it);
               state->track_work();
               if (state->sock) {
-                state->sock->send(
-                    net::Message(kMsgDone, {task_id, "124", "watchdog"}));
-                state->sock->send(net::Message(kMsgReady));
+                net::rpc::post(
+                    *state->sock,
+                    net::rpc::TaskDone{task_id, 124,
+                                       net::rpc::TaskDone::Reason::kWatchdog});
+                net::rpc::post(*state->sock, net::rpc::ReadyNote{});
               }
             });
       }
-    } else if (m->tag == kMsgKill) {
-      const std::string& task_id = m->args.at(0);
-      auto it = state->outstanding.find(task_id);
-      if (it != state->outstanding.end()) {
-        machine.kill(it->second);
-        state->outstanding.erase(it);
-        state->track_work();
-        state->sock->send(net::Message(kMsgDone, {task_id, "137", "killed"}));
-        state->sock->send(net::Message(kMsgReady));
-      }
-    } else if (m->tag == kMsgStageIn) {
-      if (const auto h = net::parse_stage_args(m->args)) {
-        // Digest-addressed job staging: install through the node's CAS so
-        // repeat blobs dedup, and report any evictions the install caused
-        // back on the ack — the service's residency view depends on it.
-        std::vector<os::CasDigest> evicted;
-        switch (h->source) {
-          case net::StageHeader::Source::kWarm:
-            // Zero-byte probe: the service believes this digest is already
-            // resident. Normally just an LRU touch; on a miss (the ack
-            // reporting the eviction is still in flight) fall back to a
-            // pull from the service's shared store over the fabric.
-            if (!node.cas().touch(h->digest)) {
-              co_await sim::delay(machine.network().fabric().transfer_time(
-                  config.service.node, env.node, h->bytes));
-              evicted =
-                  co_await node.cas().put(h->digest, h->path, h->bytes);
+    });
+    chan.on<net::rpc::KillReq>([&, state](net::rpc::KillReq&& kill) {
+      auto it = state->outstanding.find(kill.task_id);
+      if (it == state->outstanding.end()) return;
+      machine.kill(it->second);
+      state->outstanding.erase(it);
+      state->track_work();
+      net::rpc::post(*state->sock,
+                     net::rpc::TaskDone{kill.task_id, 137,
+                                        net::rpc::TaskDone::Reason::kKilled});
+      net::rpc::post(*state->sock, net::rpc::ReadyNote{});
+    });
+    chan.on<net::rpc::StageReq>(
+        // By value: the coroutine frame owns the request (see Channel::on).
+        [&, state](net::rpc::StageReq req) -> sim::Task<void> {
+          if (!req.legacy) {
+            // Digest-addressed job staging: install through the node's CAS
+            // so repeat blobs dedup, and report any evictions the install
+            // caused back on the ack — the service's residency view
+            // depends on it.
+            const net::StageHeader& h = req.header;
+            std::vector<os::CasDigest> evicted;
+            switch (h.source) {
+              case net::StageHeader::Source::kWarm:
+                // Zero-byte probe: the service believes this digest is
+                // already resident. Normally just an LRU touch; on a miss
+                // (the ack reporting the eviction is still in flight) fall
+                // back to a pull from the service's shared store over the
+                // fabric.
+                if (!node.cas().touch(h.digest)) {
+                  co_await sim::delay(machine.network().fabric().transfer_time(
+                      config.service.node, env.node, h.bytes));
+                  evicted = co_await node.cas().put(h.digest, h.path, h.bytes);
+                }
+                break;
+              case net::StageHeader::Source::kPeer:
+                // Intra-group copy: the bytes cross peer->here, not
+                // service->here — this message itself carried none, so
+                // charge the fabric for the peer link before installing.
+                co_await sim::delay(machine.network().fabric().transfer_time(
+                    h.peer, env.node, h.bytes));
+                evicted = co_await node.cas().put(h.digest, h.path, h.bytes);
+                break;
+              case net::StageHeader::Source::kPush:
+                // The bytes arrived with this message (wire time already
+                // charged by the socket); just install.
+                evicted = co_await node.cas().put(h.digest, h.path, h.bytes);
+                break;
             }
-            break;
-          case net::StageHeader::Source::kPeer:
-            // Intra-group copy: the bytes cross peer->here, not
-            // service->here — this message itself carried none, so charge
-            // the fabric for the peer link before installing.
-            co_await sim::delay(machine.network().fabric().transfer_time(
-                h->peer, env.node, h->bytes));
-            evicted = co_await node.cas().put(h->digest, h->path, h->bytes);
-            break;
-          case net::StageHeader::Source::kPush:
-            // The bytes arrived with this message (wire time already
-            // charged by the socket); just install.
-            evicted = co_await node.cas().put(h->digest, h->path, h->bytes);
-            break;
-        }
-        std::vector<std::string> ack{h->path,
-                                     "d=" + os::cas_digest_hex(h->digest)};
-        for (const os::CasDigest d : evicted) {
-          ack.push_back("e=" + os::cas_digest_hex(d));
-        }
-        state->sock->send(net::Message(kMsgStaged, std::move(ack)));
-      } else {
-        // Data channel (§4.1): the file's bytes arrived with this message
-        // (wire time already charged by the socket); persist them locally.
-        const std::string& path = m->args.at(0);
-        co_await node.local_fs().write(path, m->payload_bytes);
-        state->sock->send(net::Message(kMsgStaged, {path}));
+            net::rpc::StageAck ack;
+            ack.path = h.path;
+            ack.digest = h.digest;
+            ack.evictions = std::move(evicted);
+            net::rpc::post(*state->sock, ack);
+          } else {
+            // Data channel (§4.1): the file's bytes arrived with this
+            // message (wire time already charged by the socket); persist
+            // them locally.
+            co_await node.local_fs().write(req.header.path, req.payload);
+            net::rpc::post(*state->sock,
+                           net::rpc::StageAck{req.header.path, 0, {}});
+          }
+        });
+    co_await chan.serve();
+    // Service connection EOF'd. Without redial the pilot exits here (the
+    // pre-recovery behavior); with it, retry the dial under linear
+    // backoff — the service may be down for a restore — and re-register
+    // carrying the outstanding-task inventory so the restored service
+    // can reconcile this pilot with its checkpointed ghost.
+    bool redialed = false;
+    for (int attempt = 1; config.reconnect_backoff > 0 &&
+                          attempt <= config.reconnect_attempts;
+         ++attempt) {
+      co_await sim::delay(attempt * config.reconnect_backoff);
+      if (state->hung()) co_await state->ctl->gate().wait();
+      try {
+        state->sock =
+            co_await machine.network().connect(env.node, config.service);
+        redialed = true;
+        break;
+      } catch (const net::ConnectError&) {
+        // nobody listening yet; keep backing off
       }
+    }
+    if (!redialed) break;  // gave up: pilot exits as before
+    // The inventory (map order = sorted task ids, deterministic). Tasks
+    // that finished during the outage are simply absent — the service's
+    // reconciliation treats a checkpointed-but-unannounced task as a
+    // lost done and fails that attempt blamelessly.
+    net::rpc::RegisterReq reg;
+    reg.node = env.node;
+    for (const auto& [tid, pid] : state->outstanding) {
+      reg.inventory.push_back(tid);
+    }
+    net::rpc::post(*state->sock, reg);
+    // Only an idle pilot volunteers for work; a busy one re-enters the
+    // pool through its normal done/ready cycle. In-flight task wrappers
+    // report through state->sock, so their dones route to the new
+    // connection automatically.
+    if (state->outstanding.empty()) {
+      net::rpc::post(*state->sock, net::rpc::ReadyNote{});
     }
   }
 

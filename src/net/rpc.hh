@@ -1,0 +1,664 @@
+// Typed asynchronous request/response RPC over net::Socket.
+//
+// The JETS wire protocol is a stream of small tagged net::Message frames;
+// until now every endpoint hand-rolled its own tag dispatch, stoul-based
+// field parsing, and ad-hoc "the peer died, forget the reply" bookkeeping.
+// rpc::Channel packages that discipline once:
+//
+//  * every protocol verb is a typed struct with byte-exact encode() to the
+//    existing wire form and a total decode() that returns a typed
+//    DecodeError instead of throwing or crashing on malformed frames;
+//  * call<Req>() / call_cb<Req>() issue a request and match the reply by
+//    *correlation key* — the protocol's own identifying field (task id,
+//    staged path, PMI key) — so the wire format does not change by a byte
+//    and all 15 figure benches stay identical to the golden manifest;
+//  * concurrent calls with the same (response tag, key) resolve FIFO, in
+//    issue order, which is exactly the socket's FIFO delivery order;
+//  * an optional bounded in-flight window provides backpressure: call()
+//    co_awaits a credit, call_cb() fails fast with kWindowFull;
+//  * per-call deadlines surface RpcError::kTimeout through the engine's
+//    timer wheel; peer close drains every pending call with kPeerClosed
+//    (in issue order) instead of silently dropping them.
+//
+// Determinism: constructing a Channel, issuing a call, and completing one
+// schedule *zero* engine events beyond what the raw socket send/recv
+// already scheduled. serve() performs the same co_await sock->recv() the
+// hand-written loops performed, handlers run synchronously inside the same
+// resumption, and completion callbacks are invoked inline at dispatch.
+// The (time, seq) event reservations of the pre-RPC code are therefore
+// preserved exactly — scheduler_equiv.sh is the proof.
+#pragma once
+
+#include <algorithm>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "net/message.hh"
+#include "net/socket.hh"
+#include "net/staging.hh"
+#include "obs/metrics.hh"
+#include "obs/tracer.hh"
+#include "sim/engine.hh"
+#include "sim/sync.hh"
+#include "sim/task.hh"
+#include "sim/time.hh"
+
+namespace jets::net::rpc {
+
+// --- Expected -------------------------------------------------------------
+// GCC 12's libstdc++ has no std::expected; this is the minimal subset the
+// RPC layer needs (monostate-free, move-friendly, no monadic sugar).
+
+template <typename E>
+struct Unexpected {
+  E error;
+};
+template <typename E>
+Unexpected(E) -> Unexpected<E>;
+
+template <typename T, typename E>
+class Expected {
+ public:
+  Expected(T value) : rep_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Unexpected<E> u) : rep_(std::in_place_index<1>, std::move(u.error)) {}
+
+  bool ok() const noexcept { return rep_.index() == 0; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  T& value() & { return std::get<0>(rep_); }
+  const T& value() const& { return std::get<0>(rep_); }
+  T&& value() && { return std::get<0>(std::move(rep_)); }
+  const E& error() const { return std::get<1>(rep_); }
+
+ private:
+  std::variant<T, E> rep_;
+};
+
+template <typename E>
+class Expected<void, E> {
+ public:
+  Expected() = default;
+  Expected(Unexpected<E> u) : err_(std::move(u.error)) {}
+
+  bool ok() const noexcept { return !err_.has_value(); }
+  explicit operator bool() const noexcept { return ok(); }
+  const E& error() const { return *err_; }
+
+ private:
+  std::optional<E> err_;
+};
+
+// --- Error taxonomy -------------------------------------------------------
+
+enum class RpcError : std::uint8_t {
+  kTimeout,     // per-call deadline elapsed before the reply arrived
+  kPeerClosed,  // connection gone (EOF) or already closed at issue time
+  kCancelled,   // explicitly cancelled (eviction write-off, shutdown)
+  kWindowFull,  // call_cb with no free pipeline credit
+  kDecode,      // reply arrived but failed to decode (reserved)
+};
+const char* to_string(RpcError e);
+
+/// Why a frame failed to decode. `field` names the offending arg.
+struct DecodeError {
+  enum class Kind : std::uint8_t {
+    kBadTag,        // frame carries a different verb than the type
+    kMissingArg,    // fewer args than the grammar requires
+    kTrailingArgs,  // more args than the grammar allows
+    kBadNumber,     // numeric field not a full, in-range number
+    kBadEnum,       // enum token outside the closed set
+    kBadDigest,     // digest field not 16 lowercase hex chars (or zero)
+    kOversized,     // numeric field parses but exceeds its domain
+  };
+  Kind kind = Kind::kBadTag;
+  const char* field = "";
+};
+std::string to_string(const DecodeError& e);
+
+// --- Typed protocol -------------------------------------------------------
+// One struct per wire verb. encode() must reproduce today's frames
+// byte-for-byte (wire_size feeds the fabric clock); decode() is total.
+// Correlated replies expose correlation_key(); request types name their
+// reply via `using Resp`.
+//
+// Every message type carries a user-provided constructor ON PURPOSE: GCC 12
+// miscompiles prvalue *aggregate* temporaries that live across a coroutine
+// suspension (the frame keeps a bitwise duplicate whose destruction
+// double-frees string storage — tests/rpc_test.cc exercises the shape).
+// Keeping these types non-aggregates makes expressions like
+// `co_await chan.call(PmiGet{key})` safe. Do not remove the constructors.
+
+/// "reg" [node, inventory...] — pilot (re-)registration. One-way on the
+/// wire: the service's historical protocol never acked registration, and
+/// inventing an ack would change wire bytes, so there is no RegisterAck.
+struct RegisterReq {
+  static constexpr const char* kTag = "reg";
+  NodeId node = 0;
+  std::vector<std::string> inventory;  // task ids still running (redial)
+  RegisterReq() = default;
+  explicit RegisterReq(NodeId n, std::vector<std::string> inv = {})
+      : node(n), inventory(std::move(inv)) {}
+  Message encode() const;
+  static Expected<RegisterReq, DecodeError> decode(const Message& m);
+};
+
+/// "ready" — worker advertises a free slot.
+struct ReadyNote {
+  static constexpr const char* kTag = "ready";
+  ReadyNote() = default;
+  Message encode() const { return Message(kTag); }
+  static Expected<ReadyNote, DecodeError> decode(const Message& m);
+};
+
+/// "hb" — heartbeat.
+struct PingNote {
+  static constexpr const char* kTag = "hb";
+  PingNote() = default;
+  Message encode() const { return Message(kTag); }
+  static Expected<PingNote, DecodeError> decode(const Message& m);
+};
+
+/// "done" [task, status, reason] — task completion. Reply to TaskRun,
+/// correlated by task id.
+struct TaskDone {
+  enum class Reason : std::uint8_t { kApp, kWatchdog, kKilled };
+  static constexpr const char* kTag = "done";
+  std::string task_id;
+  int status = 0;
+  Reason reason = Reason::kApp;
+  TaskDone() = default;
+  TaskDone(std::string task, int st, Reason r)
+      : task_id(std::move(task)), status(st), reason(r) {}
+  std::string correlation_key() const { return task_id; }
+  Message encode() const;
+  static Expected<TaskDone, DecodeError> decode(const Message& m);
+};
+
+/// "run" [task, n, argv..., k=v...] — task dispatch.
+struct TaskRun {
+  static constexpr const char* kTag = "run";
+  using Resp = TaskDone;
+  std::string task_id;
+  std::vector<std::string> argv;
+  std::map<std::string, std::string> vars;  // sorted => stable encode
+  TaskRun() = default;
+  TaskRun(std::string task, std::vector<std::string> av,
+          std::map<std::string, std::string> kv = {})
+      : task_id(std::move(task)), argv(std::move(av)), vars(std::move(kv)) {}
+  std::string correlation_key() const { return task_id; }
+  Message encode() const;
+  static Expected<TaskRun, DecodeError> decode(const Message& m);
+};
+
+/// "kill" [task] — one-way task kill (the worker answers with a "done").
+struct KillReq {
+  static constexpr const char* kTag = "kill";
+  std::string task_id;
+  KillReq() = default;
+  explicit KillReq(std::string task) : task_id(std::move(task)) {}
+  Message encode() const { return Message(kTag, {task_id}); }
+  static Expected<KillReq, DecodeError> decode(const Message& m);
+};
+
+/// "staged" [path] or [path, d=<hex>, e=<hex>...] — stage-in ack. Reply to
+/// StageReq, correlated by path. digest == 0 means the legacy form.
+struct StageAck {
+  static constexpr const char* kTag = "staged";
+  std::string path;
+  std::uint64_t digest = 0;
+  std::vector<std::uint64_t> evictions;
+  StageAck() = default;
+  explicit StageAck(std::string p, std::uint64_t d = 0,
+                    std::vector<std::uint64_t> ev = {})
+      : path(std::move(p)), digest(d), evictions(std::move(ev)) {}
+  std::string correlation_key() const { return path; }
+  Message encode() const;
+  static Expected<StageAck, DecodeError> decode(const Message& m);
+};
+
+/// "stagein" — input staging. Digest form carries the CAS header; the
+/// legacy broadcast form is [path] + payload. A frame whose args do not
+/// match the digest grammar decodes as legacy (that fallback *is* the
+/// protocol — see parse_stage_args), except the empty-args frame, which
+/// is a decode error rather than the out_of_range throw it used to be.
+struct StageReq {
+  static constexpr const char* kTag = "stagein";
+  using Resp = StageAck;
+  StageHeader header;
+  bool legacy = false;
+  std::uint64_t payload = 0;  // message payload_bytes (kPush / legacy)
+  StageReq() = default;
+  explicit StageReq(StageHeader h, bool leg = false, std::uint64_t pay = 0)
+      : header(std::move(h)), legacy(leg), payload(pay) {}
+  std::string correlation_key() const { return header.path; }
+  Message encode() const;
+  static Expected<StageReq, DecodeError> decode(const Message& m);
+};
+
+// --- PMI (MPICH process-management interface over the proxy socket) ------
+
+struct PmiInit {
+  static constexpr const char* kTag = "pmi.init";
+  int rank = 0;
+  PmiInit() = default;
+  explicit PmiInit(int r) : rank(r) {}
+  Message encode() const { return Message(kTag, {std::to_string(rank)}); }
+  static Expected<PmiInit, DecodeError> decode(const Message& m);
+};
+
+struct PmiPut {
+  static constexpr const char* kTag = "pmi.put";
+  std::string key;
+  std::string value;
+  PmiPut() = default;
+  PmiPut(std::string k, std::string v) : key(std::move(k)), value(std::move(v)) {}
+  Message encode() const { return Message(kTag, {key, value}); }
+  static Expected<PmiPut, DecodeError> decode(const Message& m);
+};
+
+/// "pmi.value" [key, value] — KVS lookup reply, correlated by key.
+struct PmiValue {
+  static constexpr const char* kTag = "pmi.value";
+  std::string key;
+  std::string value;
+  PmiValue() = default;
+  PmiValue(std::string k, std::string v) : key(std::move(k)), value(std::move(v)) {}
+  std::string correlation_key() const { return key; }
+  Message encode() const { return Message(kTag, {key, value}); }
+  static Expected<PmiValue, DecodeError> decode(const Message& m);
+};
+
+struct PmiGet {
+  static constexpr const char* kTag = "pmi.get";
+  using Resp = PmiValue;
+  std::string key;
+  PmiGet() = default;
+  explicit PmiGet(std::string k) : key(std::move(k)) {}
+  std::string correlation_key() const { return key; }
+  Message encode() const { return Message(kTag, {key}); }
+  static Expected<PmiGet, DecodeError> decode(const Message& m);
+};
+
+/// "pmi.barrier_out" — barrier release broadcast. At most one barrier is
+/// outstanding per rank, so the correlation key is constant.
+struct PmiBarrierOut {
+  static constexpr const char* kTag = "pmi.barrier_out";
+  PmiBarrierOut() = default;
+  std::string correlation_key() const { return std::string(); }
+  Message encode() const { return Message(kTag); }
+  static Expected<PmiBarrierOut, DecodeError> decode(const Message& m);
+};
+
+struct PmiBarrier {
+  static constexpr const char* kTag = "pmi.barrier_in";
+  using Resp = PmiBarrierOut;
+  int rank = 0;
+  PmiBarrier() = default;
+  explicit PmiBarrier(int r) : rank(r) {}
+  std::string correlation_key() const { return std::string(); }
+  Message encode() const { return Message(kTag, {std::to_string(rank)}); }
+  static Expected<PmiBarrier, DecodeError> decode(const Message& m);
+};
+
+struct PmiFinalize {
+  static constexpr const char* kTag = "pmi.finalize";
+  int rank = 0;
+  PmiFinalize() = default;
+  explicit PmiFinalize(int r) : rank(r) {}
+  Message encode() const { return Message(kTag, {std::to_string(rank)}); }
+  static Expected<PmiFinalize, DecodeError> decode(const Message& m);
+};
+
+/// Fire-and-forget typed send on a bare socket (no channel bookkeeping).
+template <typename M>
+void post(Socket& sock, const M& m) {
+  sock.send(m.encode());
+}
+
+// --- Metrics --------------------------------------------------------------
+
+/// Instrument block a Channel reports into. Shared across channels (the
+/// service binds one block for all worker connections). Any pointer may be
+/// left null; those events simply go uncounted.
+struct ChannelMetrics {
+  obs::Counter* calls = nullptr;          // requests issued
+  obs::Counter* notifies = nullptr;       // one-way sends
+  obs::Counter* completed = nullptr;      // calls resolved by a reply
+  obs::Counter* timeouts = nullptr;       // calls resolved by deadline
+  obs::Counter* peer_closed = nullptr;    // calls drained or refused, EOF
+  obs::Counter* cancelled = nullptr;      // calls explicitly written off
+  obs::Counter* orphans = nullptr;        // replies with no matching call
+  obs::Counter* decode_errors = nullptr;  // frames a decoder rejected
+  obs::Counter* unknown_tags = nullptr;   // frames with no installed route
+  obs::Gauge* inflight = nullptr;         // calls currently pending
+  std::int64_t inflight_now = 0;          // backing value for `inflight`
+
+  /// Binds the full block to "jets.rpc.*" instruments in `m`.
+  static ChannelMetrics bind(obs::MetricsRegistry& m);
+};
+
+// --- Channel --------------------------------------------------------------
+
+class Channel {
+ public:
+  using CallId = std::uint64_t;
+
+  struct Config {
+    /// Max calls in flight; 0 = unbounded. call() co_awaits a free
+    /// credit (FIFO), call_cb() fails fast with kWindowFull.
+    std::size_t window = 0;
+    /// Shared instrument block; nullptr = uncounted.
+    ChannelMetrics* metrics = nullptr;
+    /// When true, serve() does NOT drain pending calls at EOF — the owner
+    /// calls fail_all() itself, at the point in its disconnect sequence
+    /// where the pre-RPC code wrote the replies off. The service needs
+    /// this to keep its EOF bookkeeping order (and thus the event
+    /// schedule) exactly as before.
+    bool manual_drain = false;
+    /// Span per call ("rpc.call", attrs: method, err); nullptr = none.
+    obs::Tracer* tracer = nullptr;
+    std::uint64_t track = 0;
+  };
+
+  Channel(sim::Engine& engine, SocketPtr sock) : Channel(engine, std::move(sock), Config{}) {}
+  Channel(sim::Engine& engine, SocketPtr sock, Config config);
+  ~Channel();  // cancels deadline timers; never invokes completions
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  const SocketPtr& socket() const { return sock_; }
+  /// True once this channel has observed EOF from the peer. Deliberately
+  /// NOT sock->eof(): the socket can hit EOF before the channel's recv
+  /// resumption runs, and surfacing that early would fail calls at a
+  /// different simulated instant than the historical code.
+  bool peer_closed() const { return peer_closed_; }
+  std::size_t in_flight() const { return calls_.size(); }
+  /// Free pipeline credits (meaningful only with a bounded window).
+  std::size_t window_available() const {
+    return window_ ? window_->available() : 0;
+  }
+  /// True if some pending call awaits (resp_tag, key).
+  bool has_pending(std::string_view resp_tag, std::string_view key) const;
+
+  /// Issues `req` and invokes `cb(Expected<Resp, RpcError>)` exactly once:
+  /// inline at reply dispatch, at deadline expiry, or when the channel
+  /// drains. Returns the call id, or kPeerClosed / kWindowFull without
+  /// sending. deadline == 0 means no deadline.
+  template <typename M, typename F>
+  Expected<CallId, RpcError> call_cb(const M& req, F&& cb,
+                                     sim::Duration deadline = 0) {
+    return call_cb_impl<M>(req, std::forward<F>(cb), deadline,
+                           /*pre_credited=*/false);
+  }
+
+  /// Coroutine form: awaits a window credit, issues the call, and resumes
+  /// with the typed result. If no serve() loop is running the call pumps
+  /// the socket itself (one sequential caller per channel — the PMI
+  /// client's discipline); with serve() active it just parks.
+  ///
+  /// `req` is taken by value, and every M is a non-aggregate by design —
+  /// see the GCC 12 note on the typed-protocol section above.
+  template <typename M>
+  sim::Task<Expected<typename M::Resp, RpcError>> call(
+      M req, sim::Duration deadline = 0) {
+    using Resp = typename M::Resp;
+    if (window_) co_await window_->acquire();
+    auto st = std::make_shared<Wait<Resp>>();
+    st->engine = engine_;
+    auto issued = call_cb_impl<M>(
+        req,
+        [st](Expected<Resp, RpcError> r) {
+          st->result.emplace(std::move(r));
+          st->done = true;
+          st->wake();
+        },
+        deadline, /*pre_credited=*/true);
+    if (!issued.ok()) {
+      if (window_) window_->release();
+      co_return Unexpected{issued.error()};
+    }
+    if (serving_) {
+      co_await WaitAwaiter{st.get()};
+    } else {
+      co_await pump_until(st.get(), issued.value(), deadline);
+    }
+    if (!st->done) cancel(issued.value(), RpcError::kCancelled);
+    co_return std::move(*st->result);
+  }
+
+  /// One-way typed send. Refused with kPeerClosed after EOF/stop.
+  template <typename M>
+  Expected<void, RpcError> notify(const M& m) {
+    if (peer_closed_ || stopped_ || !sock_) {
+      return Unexpected{RpcError::kPeerClosed};
+    }
+    if (config_.metrics && config_.metrics->notifies) {
+      config_.metrics->notifies->inc();
+    }
+    sock_->send(m.encode());
+    return {};
+  }
+
+  /// Installs the handler for unmatched frames of type M. A handler
+  /// returning void runs synchronously inside the dispatch resumption
+  /// (zero extra events); a coroutine handler returning sim::Task<void>
+  /// is co_awaited by the dispatch loop (its awaits suspend the loop,
+  /// exactly as the hand-written per-tag branches did).
+  template <typename M, typename F>
+  void on(F&& f) {
+    if constexpr (std::is_invocable_r_v<sim::Task<void>, F&, M&&>) {
+      // By value, not M&&: the handler coroutine's frame must own the
+      // message — a reference parameter would dangle once the dispatch
+      // scope's decoded temporary dies (the task starts lazily).
+      install_async<M>(std::function<sim::Task<void>(M)>(std::forward<F>(f)));
+    } else {
+      install_sync<M>(std::function<void(M&&)>(std::forward<F>(f)));
+    }
+  }
+
+  /// Runs on every inbound frame before dispatch (liveness refresh).
+  void set_on_message(std::function<void()> fn) { on_message_ = std::move(fn); }
+  /// Consulted after each recv; a non-null Gate is awaited before the
+  /// frame is examined (worker hang injection point).
+  void set_hang_gate(std::function<sim::Gate*()> fn) {
+    hang_gate_ = std::move(fn);
+  }
+
+  /// Receive/dispatch loop: recv -> hang gate -> route until EOF or
+  /// stop(). At EOF fails all pending calls with kPeerClosed unless
+  /// Config::manual_drain.
+  sim::Task<void> serve();
+
+  /// Makes serve() (or a pumping call()) return after the current frame.
+  void stop() { stopped_ = true; }
+
+  /// Fails every pending call, oldest first (issue order).
+  void fail_all(RpcError err);
+  /// Fails every pending call awaiting `resp_tag`, oldest first.
+  void fail_responses(std::string_view resp_tag, RpcError err);
+  /// Fails one call; returns false if it already settled.
+  bool cancel(CallId id, RpcError err = RpcError::kCancelled);
+
+ private:
+  struct PendingCall {
+    CallId id = 0;
+    const char* resp_tag = "";
+    std::string key;
+    std::function<void(void*, RpcError)> complete;
+    sim::TimerHandle deadline;
+    bool credited = false;
+    obs::SpanId span = 0;
+  };
+
+  struct TagEntry {
+    std::string_view tag;
+    std::function<void(Channel&, Message&&)> sync;
+    std::function<std::optional<sim::Task<void>>(Channel&, Message&&)> async;
+  };
+
+  struct WaitCore {
+    bool done = false;
+    sim::Engine* engine = nullptr;
+    std::optional<sim::Resumption> resume;
+    void wake() {
+      if (resume && !resume->expired()) {
+        engine->schedule(engine->now(), std::move(*resume));
+      }
+      resume.reset();
+    }
+  };
+  template <typename Resp>
+  struct Wait : WaitCore {
+    std::optional<Expected<Resp, RpcError>> result;
+  };
+  struct WaitAwaiter {
+    WaitCore* core;
+    bool await_ready() const noexcept { return core->done; }
+    template <typename Promise>
+    void await_suspend(std::coroutine_handle<Promise> h) {
+      core->resume = sim::Resumption::of(h, h.promise().context());
+    }
+    void await_resume() const noexcept {}
+  };
+
+  template <typename M, typename F>
+  Expected<CallId, RpcError> call_cb_impl(const M& req, F&& cb,
+                                          sim::Duration deadline,
+                                          bool pre_credited) {
+    using Resp = typename M::Resp;
+    if (peer_closed_ || stopped_ || !sock_) {
+      if (config_.metrics && config_.metrics->peer_closed) {
+        config_.metrics->peer_closed->inc();
+      }
+      return Unexpected{RpcError::kPeerClosed};
+    }
+    if (window_ && !pre_credited && !window_->try_acquire()) {
+      return Unexpected{RpcError::kWindowFull};
+    }
+    ensure_route<Resp>();
+    const CallId id = next_id_++;
+    PendingCall p;
+    p.id = id;
+    p.resp_tag = Resp::kTag;
+    p.key = req.correlation_key();
+    p.credited = window_ != nullptr;
+    p.complete = [cb = std::function<void(Expected<Resp, RpcError>)>(
+                      std::forward<F>(cb))](void* resp, RpcError err) {
+      if (resp) {
+        cb(Expected<Resp, RpcError>(std::move(*static_cast<Resp*>(resp))));
+      } else {
+        cb(Expected<Resp, RpcError>(Unexpected{err}));
+      }
+    };
+    if (deadline > 0) {
+      p.deadline = engine_->call_in(deadline, [this, id] { on_deadline(id); });
+    }
+    if (config_.tracer) {
+      p.span = config_.tracer->begin("rpc.call", config_.track);
+      config_.tracer->attr(p.span, "method", M::kTag);
+    }
+    index_[index_key(p.resp_tag, p.key)].push_back(id);
+    calls_.emplace(id, std::move(p));
+    if (ChannelMetrics* mm = config_.metrics) {
+      if (mm->calls) mm->calls->inc();
+      ++mm->inflight_now;
+      if (mm->inflight) mm->inflight->set(mm->inflight_now);
+    }
+    sock_->send(req.encode());
+    return id;
+  }
+
+  template <typename M>
+  void install_sync(std::function<void(M&&)> h) {
+    TagEntry* e = route(M::kTag);
+    e->async = nullptr;
+    e->sync = [h = std::move(h)](Channel& ch, Message&& m) {
+      std::optional<M> v = ch.decode_and_route<M>(std::move(m));
+      if (!v) return;
+      if (h) {
+        h(std::move(*v));
+      } else {
+        ch.note_orphan();
+      }
+    };
+  }
+
+  template <typename M>
+  void install_async(std::function<sim::Task<void>(M)> h) {
+    TagEntry* e = route(M::kTag);
+    e->sync = nullptr;
+    e->async = [h = std::move(h)](Channel& ch,
+                                  Message&& m) -> std::optional<sim::Task<void>> {
+      std::optional<M> v = ch.decode_and_route<M>(std::move(m));
+      if (!v) return std::nullopt;
+      return h(std::move(*v));
+    };
+  }
+
+  /// Decodes, satisfies a matching pending call, or hands the value back
+  /// for the unmatched-frame handler. nullopt = consumed (or rejected).
+  template <typename M>
+  std::optional<M> decode_and_route(Message&& m) {
+    auto r = M::decode(m);
+    if (!r.ok()) {
+      note_decode_error();
+      return std::nullopt;
+    }
+    if constexpr (requires(const M& x) { x.correlation_key(); }) {
+      if (try_complete(M::kTag, r.value().correlation_key(), &r.value())) {
+        return std::nullopt;
+      }
+    }
+    return std::move(r).value();
+  }
+
+  /// Installs a route for M if none exists (so unhandled replies are
+  /// counted as orphans rather than unknown tags).
+  template <typename M>
+  void ensure_route() {
+    if (!find_tag(M::kTag)) install_sync<M>(nullptr);
+  }
+
+  static std::string index_key(std::string_view tag, std::string_view key);
+  TagEntry* route(std::string_view tag);       // find-or-insert
+  TagEntry* find_tag(std::string_view tag);    // nullptr if absent
+  bool try_complete(const char* resp_tag, const std::string& key, void* resp);
+  void finish_call(CallId id, void* resp, RpcError err);
+  void unlink_index(const PendingCall& p);
+  void on_deadline(CallId id);
+  sim::Task<void> pump_until(WaitCore* st, CallId id, sim::Duration deadline);
+  void note_orphan();
+  void note_decode_error();
+  void note_unknown_tag();
+
+  sim::Engine* engine_;
+  SocketPtr sock_;
+  Config config_;
+  std::unique_ptr<sim::Semaphore> window_;
+  /// Ordered by id == issue order, so fail_all drains FIFO.
+  std::map<CallId, PendingCall> calls_;
+  /// (resp_tag NUL key) -> pending ids, FIFO per key.
+  std::map<std::string, std::deque<CallId>, std::less<>> index_;
+  /// Small linear table: a handful of verbs per endpoint, and a vector
+  /// scan beats a node-based map at 10^5 channels (one per worker).
+  std::vector<TagEntry> tags_;
+  std::function<void()> on_message_;
+  std::function<sim::Gate*()> hang_gate_;
+  CallId next_id_ = 1;
+  bool serving_ = false;
+  bool stopped_ = false;
+  bool peer_closed_ = false;
+};
+
+}  // namespace jets::net::rpc

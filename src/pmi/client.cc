@@ -1,6 +1,7 @@
 #include "pmi/client.hh"
 
 #include <stdexcept>
+#include <utility>
 
 #include "obs/tracer.hh"
 
@@ -15,45 +16,38 @@ sim::Task<std::unique_ptr<PmiClient>> PmiClient::connect(os::Machine& machine,
   obs::ScopedSpan span(tr, "pmi.connect", track);
   span.attr("rank", static_cast<std::int64_t>(rank));
   net::SocketPtr sock = co_await machine.network().connect(node, control);
-  sock->send(net::Message("pmi.init", {std::to_string(rank)}));
+  net::rpc::post(*sock, net::rpc::PmiInit{rank});
   auto client = std::unique_ptr<PmiClient>(
       new PmiClient(std::move(sock), rank, size));
+  client->chan_ =
+      std::make_unique<net::rpc::Channel>(machine.engine(), client->sock_);
   client->tracer_ = tr;
   client->track_ = track;
   co_return client;
 }
 
 void PmiClient::put(const std::string& key, const std::string& value) {
-  sock_->send(net::Message("pmi.put", {key, value}));
+  net::rpc::post(*sock_, net::rpc::PmiPut{key, value});
 }
 
 sim::Task<std::string> PmiClient::get(const std::string& key) {
-  sock_->send(net::Message("pmi.get", {key}));
-  for (;;) {
-    auto reply = co_await sock_->recv();
-    if (!reply) throw std::runtime_error("PMI: lost connection to mpiexec");
-    if (reply->tag == "pmi.value" && reply->args.at(0) == key) {
-      co_return reply->args.at(1);
-    }
-    // Interleaved barrier_out or stale replies are not possible with the
-    // strictly sequential client usage, but be defensive:
-    if (reply->tag == "pmi.barrier_out") continue;
-  }
+  // Interleaved barrier_out or stale value replies route through the
+  // channel's correlation index and drop as orphans — the defensive
+  // skips the hand-written receive loop used to make.
+  auto r = co_await chan_->call(net::rpc::PmiGet{key});
+  if (!r.ok()) throw std::runtime_error("PMI: lost connection to mpiexec");
+  co_return std::move(r.value().value);
 }
 
 sim::Task<void> PmiClient::barrier() {
   obs::ScopedSpan span(tracer_, "pmi.barrier", track_);
   span.attr("rank", static_cast<std::int64_t>(rank_));
-  sock_->send(net::Message("pmi.barrier_in", {std::to_string(rank_)}));
-  for (;;) {
-    auto reply = co_await sock_->recv();
-    if (!reply) throw std::runtime_error("PMI: lost connection to mpiexec");
-    if (reply->tag == "pmi.barrier_out") co_return;
-  }
+  auto r = co_await chan_->call(net::rpc::PmiBarrier{rank_});
+  if (!r.ok()) throw std::runtime_error("PMI: lost connection to mpiexec");
 }
 
 void PmiClient::finalize() {
-  sock_->send(net::Message("pmi.finalize", {std::to_string(rank_)}));
+  net::rpc::post(*sock_, net::rpc::PmiFinalize{rank_});
 }
 
 }  // namespace jets::pmi

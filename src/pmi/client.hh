@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 
+#include "net/rpc.hh"
 #include "net/socket.hh"
 #include "obs/span.hh"
 #include "os/machine.hh"
@@ -57,6 +58,12 @@ class PmiClient {
       : sock_(std::move(sock)), rank_(rank), size_(size) {}
 
   net::SocketPtr sock_;
+  /// Typed call layer over sock_, in pump mode (no serve loop: the client
+  /// is strictly sequential, so each call() drains the socket itself).
+  /// One-way sends stay rpc::post() on the bare socket — they must
+  /// schedule their flush event even after mpiexec dies, as the raw
+  /// send always did.
+  std::unique_ptr<net::rpc::Channel> chan_;
   int rank_;
   int size_;
   /// Captured at connect() (barrier() has no machine in scope): the

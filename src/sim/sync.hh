@@ -194,6 +194,13 @@ class Semaphore {
   /// `co_await sem.acquire()`: obtains one permit (FIFO order).
   auto acquire() { return AcquireAwaiter{this}; }
 
+  /// Claims a permit iff one is free right now; never suspends.
+  bool try_acquire() {
+    if (available_ == 0) return false;
+    --available_;
+    return true;
+  }
+
   /// Returns one permit, handing it to the oldest live waiter if any.
   void release() {
     while (!waiters_.empty()) {
